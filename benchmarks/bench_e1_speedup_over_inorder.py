@@ -1,0 +1,50 @@
+"""E1 — per-workload speedup of scout / execute-ahead / SST over the
+in-order baseline (the paper's core progression figure).
+
+Expected shape: every speculative mode >= 1.0x on the miss-bound
+commercial workloads, ordered scout <= EA <= SST on the geomean, with
+the compute-bound contrast workloads showing little gain.
+"""
+
+from common import bench_hierarchy, paper_machines, run_matrix, save_table
+from repro.stats.report import Table, geomean
+from repro.workloads import full_suite
+
+
+def experiment():
+    programs = full_suite("bench")
+    configs = paper_machines(bench_hierarchy())
+    matrix = run_matrix(programs, configs)
+    baseline_name = configs[0].name
+    table = Table(
+        "E1: speedup over the in-order core",
+        ["workload", "inorder IPC", "scout", "execute-ahead", "sst"],
+    )
+    speedups = {config.name: [] for config in configs[1:]}
+    for program in programs:
+        results = matrix[program.name]
+        base = results[baseline_name]
+        row = [program.name, round(base.ipc, 3)]
+        for config in configs[1:]:
+            speedup = results[config.name].speedup_over(base)
+            speedups[config.name].append(speedup)
+            row.append(f"{speedup:.2f}x")
+        table.add_row(*row)
+    table.add_row(
+        "geomean", "",
+        *(f"{geomean(values):.2f}x" for values in speedups.values()),
+    )
+    return table, speedups
+
+
+def test_e1_speedup_over_inorder(benchmark):
+    table, speedups = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    save_table("e1_speedup_over_inorder", table)
+    sst = geomean(speedups["sst-2w-2ckpt"])
+    ea = geomean(speedups["ea-2w"])
+    scout = geomean(speedups["scout-2w"])
+    benchmark.extra_info["geomean_sst"] = round(sst, 3)
+    benchmark.extra_info["geomean_ea"] = round(ea, 3)
+    benchmark.extra_info["geomean_scout"] = round(scout, 3)
+    assert sst > 1.5
+    assert sst >= ea * 0.98 >= scout * 0.9

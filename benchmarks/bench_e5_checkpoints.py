@@ -1,0 +1,56 @@
+"""E5 — checkpoint count: the EA -> SST step.
+
+1 checkpoint = execute-ahead (replay pauses the ahead strand);
+2 checkpoints = SST (the paper's design point); more checkpoints let
+more epochs pipeline.  Expected: the 1 -> 2 step is the big one.
+"""
+
+import dataclasses
+
+from common import bench_hierarchy, run, save_table
+from repro.config import inorder_machine, sst_machine
+from repro.stats.report import Table, geomean
+from repro.workloads import hash_join, pointer_chase, store_stream
+
+CHECKPOINTS = (1, 2, 4, 8)
+
+
+def experiment():
+    hierarchy = bench_hierarchy()
+    programs = [
+        hash_join(table_words=1 << 16, probes=3000),
+        pointer_chase(chains=4, nodes_per_chain=2048, hops=2500),
+        store_stream(records=2000, payload_words=8, table_words=1 << 16),
+    ]
+    table = Table(
+        "E5: speedup over in-order vs number of checkpoints",
+        ["workload"] + [f"{k} ckpt" for k in CHECKPOINTS],
+    )
+    per_k = {k: [] for k in CHECKPOINTS}
+    for program in programs:
+        base = run(inorder_machine(hierarchy), program)
+        row = [program.name]
+        for k in CHECKPOINTS:
+            machine = dataclasses.replace(
+                sst_machine(hierarchy, checkpoints=k), name=f"sst-{k}ckpt"
+            )
+            speedup = run(machine, program).speedup_over(base)
+            per_k[k].append(speedup)
+            row.append(f"{speedup:.2f}x")
+        table.add_row(*row)
+    table.add_row(
+        "geomean", *(f"{geomean(per_k[k]):.2f}x" for k in CHECKPOINTS)
+    )
+    return table, {k: geomean(values) for k, values in per_k.items()}
+
+
+def test_e5_checkpoints(benchmark):
+    table, geomeans = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    save_table("e5_checkpoints", table)
+    benchmark.extra_info["geomeans"] = {
+        str(k): round(value, 3) for k, value in geomeans.items()
+    }
+    step_1_2 = geomeans[2] / geomeans[1]
+    step_2_8 = geomeans[8] / geomeans[2]
+    assert step_1_2 > 1.02  # EA -> SST is a real step
+    assert step_2_8 < step_1_2 + 0.25  # and the dominant one

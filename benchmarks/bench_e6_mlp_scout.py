@@ -1,0 +1,47 @@
+"""E6 — memory-level parallelism and prefetch coverage.
+
+How each mode turns serial misses into overlapped ones: demand DRAM
+accesses, misses merged into in-flight fills (the MLP signature), the
+SST core's peak outstanding deferred misses, and scout prefetches.
+"""
+
+from common import bench_hierarchy, paper_machines, run, save_table
+from repro.stats.report import Table
+from repro.workloads import hash_join
+
+
+def experiment():
+    program = hash_join(table_words=1 << 16, probes=3000)
+    table = Table(
+        "E6: MLP and prefetch coverage on db-hashjoin",
+        ["machine", "cycles", "dram accesses", "merges",
+         "peak outstanding", "scout prefetches"],
+    )
+    rows = {}
+    for config in paper_machines(bench_hierarchy()):
+        result = run(config, program)
+        hierarchy_stats = result.extra["hierarchy"]
+        sst_stats = result.extra.get("sst")
+        peak = sst_stats.peak_outstanding_misses if sst_stats else 0
+        scout_prefetches = sst_stats.scout_prefetches if sst_stats else 0
+        table.add_row(
+            config.name,
+            result.cycles,
+            hierarchy_stats.demand_dram,
+            hierarchy_stats.demand_merges,
+            peak,
+            scout_prefetches,
+        )
+        rows[config.name] = result.cycles
+    return table, rows
+
+
+def test_e6_mlp_scout(benchmark):
+    table, cycles = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    save_table("e6_mlp_scout", table)
+    benchmark.extra_info["cycles"] = cycles
+    # Every speculative mode beats in-order on this workload.
+    base = cycles["inorder-2w"]
+    for name, value in cycles.items():
+        if name != "inorder-2w":
+            assert value < base

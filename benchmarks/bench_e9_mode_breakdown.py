@@ -1,0 +1,47 @@
+"""E9 — where the cycles go: execution-mode breakdown per workload.
+
+Miss-bound workloads should live in EXECUTE_AHEAD/SST; compute-bound
+ones in NORMAL; resource-starved or chain-bound ones show SCOUT and
+REPLAY_ONLY time.
+"""
+
+from common import bench_hierarchy, run, save_table
+from repro.config import sst_machine
+from repro.core import ExecMode
+from repro.stats.report import Table
+from repro.workloads import full_suite
+
+MODES = [ExecMode.NORMAL, ExecMode.EXECUTE_AHEAD, ExecMode.SST,
+         ExecMode.REPLAY_ONLY, ExecMode.SCOUT]
+
+
+def experiment():
+    table = Table(
+        "E9: fraction of cycles per execution mode (SST core)",
+        ["workload"] + [mode.value for mode in MODES],
+    )
+    fractions = {}
+    for program in full_suite("bench"):
+        result = run(sst_machine(bench_hierarchy()), program)
+        mode_cycles = result.extra["sst"].mode_cycles
+        total = max(sum(mode_cycles.values()), 1)
+        shares = {
+            mode: mode_cycles[mode.value] / total for mode in MODES
+        }
+        fractions[program.name] = shares
+        table.add_row(
+            program.name,
+            *(f"{shares[mode]:.2f}" for mode in MODES),
+        )
+    return table, fractions
+
+
+def test_e9_mode_breakdown(benchmark):
+    table, fractions = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    save_table("e9_mode_breakdown", table)
+    # Miss-bound DB probe spends most cycles speculating...
+    db = fractions["db-hashjoin"]
+    assert db[ExecMode.EXECUTE_AHEAD] + db[ExecMode.SST] > 0.5
+    # ...while the cache-resident kernel stays mostly normal.
+    matmul = fractions["compute-matmul"]
+    assert matmul[ExecMode.NORMAL] > 0.5

@@ -1,0 +1,99 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_e*.py`` module regenerates one table/figure of the
+reconstructed evaluation (see DESIGN.md).  Each prints its table and
+also writes it to ``benchmarks/results/<experiment>.txt`` so
+EXPERIMENTS.md can quote the exact output.
+
+The *bench hierarchy* is deliberately smaller than a real ROCK-era
+memory system so the "bench"-scale workloads (hundreds of KB of working
+set) exercise the same regime the paper's commercial workloads did on
+multi-MB caches: frequent L2 misses with room for memory-level
+parallelism.  Absolute IPCs are therefore not comparable to silicon;
+relative orderings are the reproduction target.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List
+
+from repro.baselines.core_base import CoreResult
+from repro.config import (
+    CacheConfig,
+    DRAMConfig,
+    HierarchyConfig,
+    MachineConfig,
+    ea_machine,
+    inorder_machine,
+    ooo_machine,
+    scout_machine,
+    sst_machine,
+)
+from repro.isa.program import Program
+from repro.sim.runner import simulate
+from repro.stats.report import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BENCH_MAX_INSTRUCTIONS = 50_000_000
+
+
+def bench_hierarchy(latency: int = 300, mshr: int = 16,
+                    l2_mshr: int = 32) -> HierarchyConfig:
+    return HierarchyConfig(
+        l1d=CacheConfig(size_bytes=16 * 1024, assoc=4, hit_latency=2,
+                        mshr_entries=mshr),
+        l1i=CacheConfig(size_bytes=16 * 1024, assoc=4, hit_latency=1,
+                        mshr_entries=4),
+        l2=CacheConfig(size_bytes=128 * 1024, assoc=8, hit_latency=20,
+                       mshr_entries=l2_mshr),
+        dram=DRAMConfig(latency=latency, min_interval=2),
+    )
+
+
+def paper_machines(hierarchy: HierarchyConfig = None) -> List[MachineConfig]:
+    """The four design points of the paper's narrative."""
+    hierarchy = hierarchy or bench_hierarchy()
+    return [
+        inorder_machine(hierarchy),
+        scout_machine(hierarchy),
+        ea_machine(hierarchy),
+        sst_machine(hierarchy),
+    ]
+
+
+def ooo_comparators(hierarchy: HierarchyConfig = None) -> List[MachineConfig]:
+    """The "larger and higher-powered" out-of-order design points."""
+    hierarchy = hierarchy or bench_hierarchy()
+    return [
+        ooo_machine(hierarchy, rob_size=32),
+        ooo_machine(hierarchy, rob_size=64),
+        ooo_machine(hierarchy, rob_size=128),
+    ]
+
+
+def run(config: MachineConfig, program: Program) -> CoreResult:
+    return simulate(config, program,
+                    max_instructions=BENCH_MAX_INSTRUCTIONS)
+
+
+def run_matrix(programs: List[Program],
+               configs: List[MachineConfig]) -> Dict[str, Dict[str, CoreResult]]:
+    """program name -> machine name -> result."""
+    return {
+        program.name: {
+            config.name: run(config, program) for config in configs
+        }
+        for program in programs
+    }
+
+
+def save_table(experiment: str, table: Table) -> str:
+    """Print the table and persist it under benchmarks/results/."""
+    text = table.render()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text

@@ -1,0 +1,7 @@
+"""Make the benchmarks directory importable (for ``common``) and keep
+benchmark output readable."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The memory wall, and how much of it SST climbs.
+
+Sweeps DRAM latency and plots (ASCII) the IPC of the in-order core and
+the SST core on the DB probe workload.  The gap widens with latency:
+the further away memory gets, the more useful it is to keep executing
+under a miss.
+
+Run:  python examples/latency_wall.py
+"""
+
+from repro import hash_join, inorder_machine, simulate, sst_machine
+from repro.config import CacheConfig, DRAMConfig, HierarchyConfig
+
+LATENCIES = (50, 100, 200, 400, 800)
+
+
+def hierarchy(latency: int) -> HierarchyConfig:
+    return HierarchyConfig(
+        l1d=CacheConfig(size_bytes=16 * 1024, assoc=4, hit_latency=2,
+                        mshr_entries=16),
+        l1i=CacheConfig(size_bytes=16 * 1024, assoc=4, hit_latency=1,
+                        mshr_entries=4),
+        l2=CacheConfig(size_bytes=128 * 1024, assoc=8, hit_latency=20,
+                       mshr_entries=32),
+        dram=DRAMConfig(latency=latency, min_interval=2),
+    )
+
+
+def bar(value: float, scale: float, width: int = 48) -> str:
+    filled = int(round(width * value / scale)) if scale else 0
+    return "#" * max(filled, 1)
+
+
+def main() -> None:
+    program = hash_join(table_words=1 << 15, probes=1500)
+    points = []
+    for latency in LATENCIES:
+        base = simulate(inorder_machine(hierarchy(latency)), program)
+        fast = simulate(sst_machine(hierarchy(latency)), program)
+        points.append((latency, base.ipc, fast.ipc,
+                       fast.speedup_over(base)))
+
+    top = max(ipc for _, base_ipc, sst_ipc, _ in points
+              for ipc in (base_ipc, sst_ipc))
+    print(f"workload: {program.name} — IPC vs DRAM latency")
+    print()
+    for latency, base_ipc, sst_ipc, speedup in points:
+        print(f"  {latency:4d} cyc  inorder {base_ipc:5.3f} "
+              f"{bar(base_ipc, top)}")
+        print(f"           sst     {sst_ipc:5.3f} "
+              f"{bar(sst_ipc, top)}   ({speedup:.2f}x)")
+        print()
+    print("The in-order bars collapse as latency grows; the SST bars")
+    print("shrink far more slowly — the speedup column is the wall it")
+    print("climbs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Characterise a workload before simulating it.
+
+Records dynamic traces of two very different workloads and answers the
+standard pre-simulation questions straight from the traces: how big is
+the footprint, how much reuse is there, what L1 geometry would help,
+and how predictable are the branches — the quick-look analyses that
+tell you *why* the cores will behave the way E1/E2 show.
+
+Run:  python examples/trace_analysis.py
+"""
+
+from repro import branchy_reduce, hash_join, record_trace
+from repro.config import BranchPredictorConfig, CacheConfig, PredictorKind
+from repro.trace import (
+    cache_sweep,
+    predictability,
+    reuse_distances,
+    working_set,
+)
+
+
+def characterise(program) -> None:
+    trace = record_trace(program)
+    print(f"workload: {trace.program_name}  "
+          f"({trace.instructions} dynamic instructions)")
+
+    footprint = working_set(trace)
+    print(f"  footprint: {footprint['references']} refs over "
+          f"{footprint['lines']} lines "
+          f"({footprint['bytes'] / 1024:.0f} KiB, "
+          f"{footprint['pages']} pages)")
+
+    distances = reuse_distances(trace)
+    counts = distances.as_dict()
+    cold = counts.get(-1, 0)
+    warm = sorted(
+        depth for depth, count in counts.items() if depth >= 0
+        for _ in range(count)
+    )
+    median_warm = warm[len(warm) // 2] if warm else "n/a"
+    print(f"  reuse: {cold} cold-line refs, median warm stack depth "
+          f"{median_warm}")
+
+    geometries = [
+        CacheConfig(size_bytes=size, assoc=4)
+        for size in (4 * 1024, 16 * 1024, 64 * 1024)
+    ]
+    sweep = cache_sweep(trace, geometries)
+    rates = "  ".join(
+        f"{config.size_bytes // 1024}KiB:{rate:.0%}"
+        for config, rate in sweep
+    )
+    print(f"  L1 miss-rate sweep: {rates}")
+
+    for kind in (PredictorKind.ALWAYS_NOT_TAKEN, PredictorKind.GSHARE,
+                 PredictorKind.TOURNAMENT):
+        accuracy = predictability(
+            trace, BranchPredictorConfig(kind=kind)
+        )
+        print(f"  branch accuracy ({kind.value:10s}): {accuracy:.1%}")
+    print()
+
+
+def main() -> None:
+    characterise(hash_join(table_words=1 << 13, probes=1000))
+    characterise(branchy_reduce(iterations=1000, data_words=1 << 10))
+    print("The probe workload is footprint-bound (no cache geometry")
+    print("fixes random misses over a big table) with easy branches;")
+    print("the reduction is cache-resident with hostile branches —")
+    print("exactly the split that makes one love SST and the other")
+    print("fight it (EXPERIMENTS.md E1/E7/E12).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Baseline cores the paper compares SST against: a scoreboarded
+in-order pipeline (the substrate SST extends) and a classical
+out-of-order core (the "larger and higher-powered" comparator)."""
+
+from repro.baselines.core_base import Core, CoreResult
+from repro.baselines.inorder import InOrderCore
+from repro.baselines.ooo import OoOCore
+
+__all__ = ["Core", "CoreResult", "InOrderCore", "OoOCore"]

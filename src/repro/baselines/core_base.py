@@ -1,0 +1,111 @@
+"""Shared core interface and run-result record.
+
+Every core in the library is *execution driven*: it functionally
+executes the program while accounting cycles, so its final
+architectural state can be checked against the golden interpreter.
+``run()`` returns a :class:`CoreResult` carrying both the timing and the
+final state.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any, Dict
+
+from repro.config import LatencyConfig
+from repro.errors import ExecutionError
+from repro.isa.interpreter import ArchState
+from repro.isa.opcodes import Op, OpClass
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemoryHierarchy
+
+DEFAULT_MAX_INSTRUCTIONS = 20_000_000
+
+
+@dataclasses.dataclass
+class CoreResult:
+    """Outcome of one core run."""
+
+    core_name: str
+    program_name: str
+    cycles: int
+    instructions: int
+    state: ArchState
+    # Core-specific statistics objects (branch stats, mode breakdown...).
+    extra: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def speedup_over(self, other: "CoreResult") -> float:
+        """How much faster this run is than ``other`` (same program)."""
+        if self.program_name != other.program_name:
+            raise ValueError(
+                "speedup comparison across different programs: "
+                f"{self.program_name} vs {other.program_name}"
+            )
+        if self.cycles == 0:
+            raise ValueError("zero-cycle run")
+        return other.cycles / self.cycles
+
+
+class Core(abc.ABC):
+    """A timing core bound to one program and one memory hierarchy."""
+
+    name = "core"
+
+    def __init__(self, program: Program, hierarchy: MemoryHierarchy):
+        program.validate()
+        self.program = program
+        self.hierarchy = hierarchy
+        self.state = ArchState.fresh(program)
+
+    @abc.abstractmethod
+    def run(self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> CoreResult:
+        """Execute the program to HALT, returning timing + final state."""
+
+    # ------------------------------------------------------------------
+    # Helpers shared by the concrete cores.
+    # ------------------------------------------------------------------
+
+    def op_latency(self, op_class: OpClass, latencies: LatencyConfig) -> int:
+        if op_class is OpClass.MUL:
+            return latencies.mul
+        if op_class is OpClass.DIV:
+            return latencies.div
+        return latencies.alu
+
+    def _check_pc(self, pc: int) -> None:
+        if not 0 <= pc < len(self.program):
+            raise ExecutionError(f"PC {pc} outside program")
+
+    def _check_budget(self, executed: int, budget: int) -> None:
+        if executed >= budget:
+            raise ExecutionError(
+                f"{self.name}: exceeded {budget} instructions without HALT "
+                f"(program {self.program.name!r})"
+            )
+
+    @staticmethod
+    def is_call(inst) -> bool:
+        """Convention: JAL/JALR that links through ``ra`` is a call."""
+        from repro.isa.registers import RA_REG
+
+        return inst.op in (Op.JAL, Op.JALR) and inst.rd == RA_REG
+
+    @staticmethod
+    def is_return(inst) -> bool:
+        """Convention: JALR through ``ra`` that does not link is a return."""
+        from repro.isa.registers import RA_REG, ZERO_REG
+
+        return (
+            inst.op is Op.JALR
+            and inst.rs1 == RA_REG
+            and inst.rd == ZERO_REG
+        )

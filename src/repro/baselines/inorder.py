@@ -1,0 +1,203 @@
+"""Scoreboarded in-order core — the pipeline SST is built on.
+
+Timing model: issue-when-ready with program-order issue.  Up to
+``width`` instructions issue per cycle; an instruction issues at the
+first cycle at which (a) an issue slot is free, (b) all its register
+operands are ready (stall-on-use), and (c) — when I-fetch modelling is
+on — its fetch has completed.  Loads get their latency from the memory
+hierarchy; stores retire into a store buffer and do not stall the
+pipeline (their cache fill happens in the background), which is the
+standard in-order design and also what ROCK's non-speculative pipeline
+does.  A mispredicted branch redirects the front end after the
+configured penalty.
+
+This core *is* the degenerate SST configuration with zero checkpoints;
+`tests/integration` asserts the two agree.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.core_base import (
+    Core,
+    CoreResult,
+    DEFAULT_MAX_INSTRUCTIONS,
+)
+from repro.branch import BranchUnit
+from repro.config import InOrderConfig
+from repro.isa.opcodes import OpClass
+from repro.isa.program import Program
+from repro.isa.registers import REG_COUNT, ZERO_REG
+from repro.isa.semantics import branch_taken, compute_value, effective_address
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.request import AccessType
+
+
+class InOrderCore(Core):
+    name = "inorder"
+
+    def __init__(self, program: Program, hierarchy: MemoryHierarchy,
+                 config: InOrderConfig = InOrderConfig()):
+        super().__init__(program, hierarchy)
+        self.config = config
+        self.branch_unit = BranchUnit(config.predictor)
+
+    def run(self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> CoreResult:
+        state = self.state
+        program = self.program
+        width = self.config.width
+        latencies = self.config.latencies
+        model_ifetch = self.hierarchy.config.model_ifetch
+
+        reg_ready = [0] * REG_COUNT
+        # What produced each register's pending value — the CPI stack
+        # attributes stall-on-use cycles to it.
+        reg_producer = ["compute"] * REG_COUNT
+        stalls = {"memory": 0, "long_op": 0, "compute": 0, "fetch": 0,
+                  "branch": 0, "drain": 0}
+        cycle = 0  # cycle currently accepting issue
+        slots_used = 0
+        executed = 0
+        last_store_done = 0  # for MEMBAR draining
+
+        def issue_at(earliest: int) -> int:
+            """Claim the next issue slot at or after ``earliest``."""
+            nonlocal cycle, slots_used
+            if earliest > cycle:
+                cycle = earliest
+                slots_used = 0
+            slot_cycle = cycle
+            slots_used += 1
+            if slots_used >= width:
+                cycle += 1
+                slots_used = 0
+            return slot_cycle
+
+        pc = 0
+        while True:
+            self._check_budget(executed, max_instructions)
+            self._check_pc(pc)
+            inst = program[pc]
+            op = inst.op
+            cls = inst.op_class
+
+            earliest = cycle
+            stall_reason = None
+            if model_ifetch:
+                fetch = self.hierarchy.ifetch(pc, cycle)
+                if fetch.ready_cycle > earliest:
+                    earliest = fetch.ready_cycle
+                    stall_reason = "fetch"
+            for src in inst.source_regs():
+                if reg_ready[src] > earliest:
+                    earliest = reg_ready[src]
+                    stall_reason = reg_producer[src]
+            if stall_reason is not None and earliest > cycle:
+                stalls[stall_reason] += earliest - cycle
+
+            if cls is OpClass.HALT:
+                executed += 1
+                final_cycle = max(earliest, max(reg_ready), last_store_done)
+                total = max(final_cycle, 1)
+                cpi_stack = dict(stalls)
+                cpi_stack["busy"] = max(total - sum(stalls.values()), 0)
+                return CoreResult(
+                    core_name=self.name,
+                    program_name=program.name,
+                    cycles=total,
+                    instructions=executed,
+                    state=state,
+                    extra={
+                        "branch": self.branch_unit.stats,
+                        "hierarchy": self.hierarchy.stats,
+                        "l1d": self.hierarchy.l1d.stats,
+                        "l2": self.hierarchy.l2.stats,
+                        "cpi_stack": cpi_stack,
+                    },
+                )
+
+            slot = issue_at(earliest)
+            executed += 1
+            next_pc = pc + 1
+
+            if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
+                a = state.read_reg(inst.rs1)
+                b = state.read_reg(inst.rs2)
+                state.write_reg(inst.rd, compute_value(inst, a, b))
+                if inst.rd != ZERO_REG:
+                    reg_ready[inst.rd] = slot + self.op_latency(cls, latencies)
+                    reg_producer[inst.rd] = (
+                        "compute" if cls is OpClass.ALU else "long_op"
+                    )
+            elif cls is OpClass.LOAD:
+                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
+                state.write_reg(inst.rd, state.memory.read(addr))
+                result = self.hierarchy.data_access(
+                    addr, slot, AccessType.LOAD, pc=pc
+                )
+                if inst.rd != ZERO_REG:
+                    reg_ready[inst.rd] = result.ready_cycle
+                    reg_producer[inst.rd] = "memory"
+            elif cls is OpClass.STORE:
+                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
+                state.memory.write(addr, state.read_reg(inst.rs2))
+                result = self.hierarchy.data_access(
+                    addr, slot, AccessType.STORE, pc=pc
+                )
+                last_store_done = max(last_store_done, result.ready_cycle)
+            elif cls is OpClass.PREFETCH:
+                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
+                self.hierarchy.prefetch(addr, slot)
+            elif cls is OpClass.BRANCH:
+                taken = branch_taken(
+                    op, state.read_reg(inst.rs1), state.read_reg(inst.rs2)
+                )
+                mispredicted = self.branch_unit.resolve_cond(pc, taken)
+                if taken:
+                    next_pc = inst.target
+                if mispredicted:
+                    resolve = slot + latencies.alu
+                    redirect = resolve + self.branch_unit.mispredict_penalty
+                    if redirect > cycle:
+                        stalls["branch"] += redirect - cycle
+                        cycle = redirect
+                        slots_used = 0
+            elif cls is OpClass.JUMP:
+                state.write_reg(inst.rd, pc + 1)
+                if inst.rd != ZERO_REG:
+                    reg_ready[inst.rd] = slot + 1
+                    reg_producer[inst.rd] = "compute"
+                if self.is_call(inst):
+                    self.branch_unit.push_return(pc + 1)
+                next_pc = inst.target
+            elif cls is OpClass.JUMP_INDIRECT:
+                target = effective_address(state.read_reg(inst.rs1), inst.imm)
+                self._check_pc(target)
+                mispredicted = self.branch_unit.resolve_indirect(
+                    pc, target, is_return=self.is_return(inst)
+                )
+                state.write_reg(inst.rd, pc + 1)
+                if inst.rd != ZERO_REG:
+                    reg_ready[inst.rd] = slot + 1
+                    reg_producer[inst.rd] = "compute"
+                if self.is_call(inst):
+                    self.branch_unit.push_return(pc + 1)
+                next_pc = target
+                if mispredicted:
+                    resolve = slot + latencies.alu
+                    redirect = resolve + self.branch_unit.mispredict_penalty
+                    if redirect > cycle:
+                        stalls["branch"] += redirect - cycle
+                        cycle = redirect
+                        slots_used = 0
+            elif cls is OpClass.BARRIER:
+                drain = max(max(reg_ready), last_store_done)
+                if drain > cycle:
+                    stalls["drain"] += drain - cycle
+                    cycle = drain
+                    slots_used = 0
+            elif cls is OpClass.NOP:
+                pass
+            else:  # pragma: no cover - exhaustiveness guard
+                raise AssertionError(f"unhandled opcode {op}")
+
+            pc = next_pc

@@ -1,0 +1,246 @@
+"""Out-of-order core timing model.
+
+A window-constrained dataflow model, the standard fast abstraction of a
+rename + ROB + issue-queue + LSQ machine:
+
+* **Rename** is implicit: operands link to their *producing dynamic
+  instruction's* completion time, so false dependences never stall —
+  exactly what a physical rename stage buys.
+* **ROB**: instruction ``i`` cannot dispatch until ``i - rob_size`` has
+  committed; commit is in order and ``commit_width`` per cycle.
+* **Issue queue**: entry held from dispatch to issue; ``issue_width``
+  instructions start execution per cycle.
+* **LSQ**: memory ops hold an entry to commit; loads either wait for
+  all older store addresses (conservative) or, with
+  ``perfect_disambiguation``, only for a same-address store's data
+  (oracle forwarding — an upper bound that makes the SST comparison
+  conservative).
+* **Branches** resolve at execute; a mispredict stalls fetch until
+  resolution plus the redirect penalty.
+
+Like every core here it executes functionally, so final architectural
+state is checked against the golden interpreter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.baselines.core_base import (
+    Core,
+    CoreResult,
+    DEFAULT_MAX_INSTRUCTIONS,
+)
+from repro.baselines.ooo.structures import (
+    BandwidthAllocator,
+    IssuePortAllocator,
+    OccupancyWindow,
+)
+from repro.branch import BranchUnit
+from repro.config import OoOConfig
+from repro.isa.opcodes import OpClass
+from repro.isa.program import Program
+from repro.isa.registers import REG_COUNT, ZERO_REG
+from repro.isa.semantics import branch_taken, compute_value, effective_address
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.request import AccessType
+
+# Store-to-load forwarding latency inside the LSQ.
+FORWARD_LATENCY = 1
+
+
+@dataclasses.dataclass
+class OoOStats:
+    dispatched: int = 0
+    branch_redirect_cycles: int = 0
+    load_forwards: int = 0
+
+
+class OoOCore(Core):
+    name = "ooo"
+
+    def __init__(self, program: Program, hierarchy: MemoryHierarchy,
+                 config: OoOConfig = OoOConfig()):
+        super().__init__(program, hierarchy)
+        self.config = config
+        self.branch_unit = BranchUnit(config.predictor)
+        self.stats = OoOStats()
+
+    def run(self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> CoreResult:
+        config = self.config
+        state = self.state
+        program = self.program
+        latencies = config.latencies
+        model_ifetch = self.hierarchy.config.model_ifetch
+
+        fetch = BandwidthAllocator(config.fetch_width)
+        issue = IssuePortAllocator(config.issue_width)
+        commit = BandwidthAllocator(config.commit_width)
+        rob = OccupancyWindow(config.rob_size, "rob")
+        iq = OccupancyWindow(config.iq_size, "iq")
+        lsq = OccupancyWindow(config.lsq_size, "lsq")
+
+        # Completion time of the last writer of each architectural reg.
+        reg_complete = [0] * REG_COUNT
+        # addr -> (data_complete, commit_time) of the youngest store.
+        store_inflight: Dict[int, tuple] = {}
+        latest_store_ready = 0  # conservative disambiguation barrier
+        mem_order_barrier = 0  # MEMBAR
+        last_mem_complete = 0
+        fetch_barrier = 0  # branch redirects
+        last_commit = 0
+        executed = 0
+        pc = 0
+
+        while True:
+            self._check_budget(executed, max_instructions)
+            self._check_pc(pc)
+            inst = program[pc]
+            cls = inst.op_class
+            executed += 1
+
+            # ---- front end -------------------------------------------
+            earliest_fetch = fetch_barrier
+            if model_ifetch:
+                probe = fetch.peek(earliest_fetch)
+                earliest_fetch = max(
+                    earliest_fetch, self.hierarchy.ifetch(pc, probe).ready_cycle
+                )
+            fetch_slot = fetch.claim(earliest_fetch)
+
+            if cls is OpClass.HALT:
+                cycles = max(last_commit, fetch_slot, 1)
+                return CoreResult(
+                    core_name=self.name,
+                    program_name=program.name,
+                    cycles=cycles,
+                    instructions=executed,
+                    state=state,
+                    extra={
+                        "ooo": self.stats,
+                        "branch": self.branch_unit.stats,
+                        "hierarchy": self.hierarchy.stats,
+                        "l1d": self.hierarchy.l1d.stats,
+                        "l2": self.hierarchy.l2.stats,
+                        "rob": rob.occupancy_stats(),
+                        "iq": iq.occupancy_stats(),
+                        "lsq": lsq.occupancy_stats(),
+                    },
+                )
+
+            # ---- dispatch (ROB/IQ/LSQ occupancy) ---------------------
+            dispatch = rob.allocate(fetch_slot)
+            dispatch = iq.allocate(dispatch)
+            if cls in (OpClass.LOAD, OpClass.STORE):
+                dispatch = lsq.allocate(dispatch)
+            self.stats.dispatched += 1
+
+            # ---- operand readiness -----------------------------------
+            ready = dispatch
+            for src in inst.source_regs():
+                if reg_complete[src] > ready:
+                    ready = reg_complete[src]
+
+            next_pc = pc + 1
+            addr = None
+            if cls is OpClass.LOAD:
+                if mem_order_barrier > ready:
+                    ready = mem_order_barrier
+                if not config.perfect_disambiguation:
+                    if latest_store_ready > ready:
+                        ready = latest_store_ready
+            elif cls is OpClass.STORE:
+                if mem_order_barrier > ready:
+                    ready = mem_order_barrier
+
+            slot = issue.claim(ready)
+
+            # ---- execute (functional + completion time) --------------
+            if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
+                a = state.read_reg(inst.rs1)
+                b = state.read_reg(inst.rs2)
+                state.write_reg(inst.rd, compute_value(inst, a, b))
+                complete = slot + self.op_latency(cls, latencies)
+            elif cls is OpClass.LOAD:
+                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
+                state.write_reg(inst.rd, state.memory.read(addr))
+                inflight = store_inflight.get(addr)
+                result = self.hierarchy.data_access(
+                    addr, slot, AccessType.LOAD, pc=pc
+                )
+                complete = result.ready_cycle
+                if inflight is not None and inflight[1] > slot:
+                    # Youngest same-address store not yet committed:
+                    # forward from the LSQ instead of the cache.
+                    self.stats.load_forwards += 1
+                    complete = max(slot + FORWARD_LATENCY, inflight[0])
+                last_mem_complete = max(last_mem_complete, complete)
+            elif cls is OpClass.STORE:
+                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
+                state.memory.write(addr, state.read_reg(inst.rs2))
+                complete = slot + 1  # address+data staged in the LSQ
+                latest_store_ready = max(latest_store_ready, slot)
+                last_mem_complete = max(last_mem_complete, complete)
+            elif cls is OpClass.PREFETCH:
+                target = effective_address(state.read_reg(inst.rs1), inst.imm)
+                self.hierarchy.prefetch(target, slot)
+                complete = slot + 1
+            elif cls is OpClass.BRANCH:
+                taken = branch_taken(
+                    inst.op, state.read_reg(inst.rs1), state.read_reg(inst.rs2)
+                )
+                mispredicted = self.branch_unit.resolve_cond(pc, taken)
+                complete = slot + latencies.alu
+                if taken:
+                    next_pc = inst.target
+                if mispredicted:
+                    redirect = complete + self.branch_unit.mispredict_penalty
+                    self.stats.branch_redirect_cycles += max(
+                        0, redirect - fetch.peek(fetch_barrier)
+                    )
+                    fetch_barrier = max(fetch_barrier, redirect)
+            elif cls is OpClass.JUMP:
+                state.write_reg(inst.rd, pc + 1)
+                if self.is_call(inst):
+                    self.branch_unit.push_return(pc + 1)
+                next_pc = inst.target
+                complete = slot + 1
+            elif cls is OpClass.JUMP_INDIRECT:
+                target = effective_address(state.read_reg(inst.rs1), inst.imm)
+                self._check_pc(target)
+                mispredicted = self.branch_unit.resolve_indirect(
+                    pc, target, is_return=self.is_return(inst)
+                )
+                state.write_reg(inst.rd, pc + 1)
+                if self.is_call(inst):
+                    self.branch_unit.push_return(pc + 1)
+                next_pc = target
+                complete = slot + latencies.alu
+                if mispredicted:
+                    redirect = complete + self.branch_unit.mispredict_penalty
+                    fetch_barrier = max(fetch_barrier, redirect)
+            elif cls is OpClass.BARRIER:
+                complete = max(slot, last_mem_complete)
+                mem_order_barrier = max(mem_order_barrier, complete)
+            else:  # NOP
+                complete = slot + 1
+
+            if inst.writes_reg and inst.rd != ZERO_REG:
+                reg_complete[inst.rd] = complete
+
+            # ---- commit (in order) -----------------------------------
+            commit_time = commit.claim(max(complete + 1, last_commit))
+            last_commit = max(last_commit, commit_time)
+            rob.retire(commit_time)
+            iq.retire(slot)
+            if cls in (OpClass.LOAD, OpClass.STORE):
+                lsq.retire(commit_time)
+                if cls is OpClass.STORE and addr is not None:
+                    store_inflight[addr] = (complete, commit_time)
+                    # Store drains to the cache after commit.
+                    self.hierarchy.data_access(
+                        addr, commit_time, AccessType.STORE, pc=pc
+                    )
+
+            pc = next_pc

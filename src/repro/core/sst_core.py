@@ -1,0 +1,1227 @@
+"""The SST core: a two-strand checkpoint/replay pipeline.
+
+Execution alternates between two regimes:
+
+* **Normal mode** — plain scoreboarded in-order execution updating
+  committed state directly, identical to the in-order baseline, until a
+  deferrable event (a triggering load miss, optionally a long integer
+  op) occurs and a checkpoint is free.
+* **Speculative episode** — a cycle-stepped loop running up to two
+  strands that share the pipeline's issue width:
+
+  - the *ahead strand* keeps executing the program; instructions with
+    NA operands park in the deferred queue (DQ) with their available
+    operands captured, stores buffer speculatively, NA-operand branches
+    follow the predictor;
+  - the *replay strand* walks the DQ head once deferred data returns.
+    With a free checkpoint it first takes a *boundary* checkpoint so
+    the ahead strand can keep running — that concurrency is
+    Simultaneous Speculative Threading.  With no free checkpoint the
+    ahead strand pauses (plain execute-ahead).
+
+  Epochs between checkpoints commit oldest-first once everything below
+  the boundary is resolved; a failed validation (deferred branch or
+  jump mispredict, memory-order violation) rolls back to the oldest
+  checkpoint; resource exhaustion (DQ or store buffer full) degrades
+  the episode to **scout** (prefetch-only run-ahead, always rolled
+  back, leaving warm caches behind).
+
+The core executes functionally — including down predicted wrong paths
+of deferred branches — so rollback/replay correctness is real and is
+validated against the golden interpreter by the test suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.core_base import (
+    Core,
+    CoreResult,
+    DEFAULT_MAX_INSTRUCTIONS,
+)
+from repro.branch import BranchUnit
+from repro.config import DeferTrigger, SSTConfig
+from repro.core.checkpoint import Checkpoint, CheckpointFile
+from repro.core.deferred_queue import DeferredQueue, DQEntry
+from repro.core.modes import ExecMode, FailCause, ScoutCause
+from repro.core.regstate import SpeculativeRegisters
+from repro.core.store_buffer import StoreBuffer
+from repro.errors import SimulatorInvariantError
+from repro.isa.opcodes import Op, OpClass, READS_RS1, READS_RS2
+from repro.isa.program import Program
+from repro.isa.registers import REG_COUNT, ZERO_REG
+from repro.isa.semantics import branch_taken, compute_value, effective_address
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.request import AccessResult, AccessType
+
+FORWARD_LATENCY = 1
+
+# Ahead-strand issue attempt outcomes.
+_ISSUED = "issued"
+_BLOCKED = "blocked"
+_RETRY = "retry"  # mode changed (e.g. entered scout); try again
+
+
+@dataclasses.dataclass
+class SSTStats:
+    """Everything the paper's evaluation tables need from one run."""
+
+    normal_insts: int = 0
+    ahead_insts: int = 0
+    replay_insts: int = 0
+    committed_spec_insts: int = 0
+    discarded_insts: int = 0
+    deferred: int = 0
+    order_deferred: int = 0
+    deferred_branches: int = 0
+    deferred_jumps: int = 0
+    deferred_loads_missed_again: int = 0
+    episodes: int = 0
+    full_commits: int = 0
+    region_commits: int = 0
+    fails: Dict[FailCause, int] = dataclasses.field(
+        default_factory=lambda: {cause: 0 for cause in FailCause}
+    )
+    scout_sessions: Dict[ScoutCause, int] = dataclasses.field(
+        default_factory=lambda: {cause: 0 for cause in ScoutCause}
+    )
+    scout_prefetches: int = 0
+    mode_cycles: Dict[str, int] = dataclasses.field(
+        default_factory=lambda: {mode.value: 0 for mode in ExecMode}
+    )
+    peak_outstanding_misses: int = 0
+
+    @property
+    def total_fails(self) -> int:
+        return sum(self.fails.values())
+
+    @property
+    def total_scout_sessions(self) -> int:
+        return sum(self.scout_sessions.values())
+
+
+class SSTCore(Core):
+    name = "sst"
+
+    def __init__(self, program: Program, hierarchy: MemoryHierarchy,
+                 config: SSTConfig = SSTConfig()):
+        super().__init__(program, hierarchy)
+        self.config = config
+        self.branch_unit = BranchUnit(config.predictor)
+        self.stats = SSTStats()
+        self.checkpoints = CheckpointFile(max(config.checkpoints, 1))
+        self.dq = DeferredQueue(config.dq_size)
+        self.sb = StoreBuffer(config.sb_size)
+
+        # ---- normal-mode pipeline state -------------------------------
+        self._cycle = 0
+        self._slots = 0
+        self._reg_ready: List[int] = [0] * REG_COUNT
+        self._pc = 0
+        self._drain_busy = 0  # store-buffer commit drain / store traffic
+        self._executed = 0
+        self._halted = False
+
+        # ---- speculation context (live only during an episode) --------
+        self.mode = ExecMode.NORMAL
+        self.spec: Optional[SpeculativeRegisters] = None
+        self._seq = 1  # 0 tags committed-state writers
+        self._slice_values: Dict[int, int] = {}
+        self._producer_ready: Dict[int, int] = {}
+        self._spec_loads: List[Tuple[int, int, int]] = []  # (seq, addr, src)
+        self._ahead_pc = 0
+        self._ahead_block: Optional[str] = None
+        self._ahead_barrier = 0  # redirect penalty barrier
+        self._replay_no_boundary = False
+        self._scout_stores: Dict[int, int] = {}
+        self._scout_end = 0
+        self._mode_account_cycle = 0
+        # One-shot livelock guard: after a rollback, the trigger at this
+        # (pc, seq) executes non-speculatively once.  Without it a scout
+        # session whose prefetches evict their own trigger line repeats
+        # identically forever (deterministic timing has no jitter to
+        # break the cycle the way real hardware does).
+        self._suppress_pc = -1
+        self._suppress_seq = -1
+
+    # ==================================================================
+    # Top level.
+    # ==================================================================
+
+    def run(self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> CoreResult:
+        self.advance(None, max_instructions)
+        return self._finalize()
+
+    def advance(self, until_cycle: Optional[int],
+                max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> bool:
+        """Resumable execution: run until HALT or the local clock
+        reaches ``until_cycle`` (None = run to completion).
+
+        Returns True once the program has halted.  This is what lets a
+        multicore scheduler interleave several cores over a shared
+        memory system in bounded-skew time quanta
+        (:mod:`repro.cmp.multicore`): no instruction is issued at or
+        beyond ``until_cycle``, so cross-core access ordering skew is
+        bounded by the quantum.
+        """
+        if self._halted:
+            return True
+        while until_cycle is None or self._cycle < until_cycle:
+            if self.mode is ExecMode.NORMAL:
+                outcome = self._normal_step(max_instructions, until_cycle)
+                if outcome == "halt":
+                    self._halted = True
+                    return True
+                if outcome == "yield":
+                    return False
+                # outcome == "spec": fall through to the episode loop;
+                # a pending HALT/MEMBAR re-executes in normal mode
+                # after the episode resolves.
+            self._speculative_loop(max_instructions, until_cycle)
+        return False
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    @property
+    def cycle(self) -> int:
+        """The core's local clock (multicore scheduling key)."""
+        return self._cycle
+
+    def finalize(self) -> CoreResult:
+        """The run's result; valid once :meth:`advance` reported halt."""
+        if not self._halted:
+            raise SimulatorInvariantError("finalize() before HALT")
+        return self._finalize()
+
+    def _finalize(self) -> CoreResult:
+        final_cycle = max(
+            self._cycle, max(self._reg_ready), self._drain_busy, 1
+        )
+        self._account_mode_cycles(final_cycle)
+        return CoreResult(
+            core_name=self.name,
+            program_name=self.program.name,
+            cycles=final_cycle,
+            instructions=self._executed,
+            state=self.state,
+            extra={
+                "sst": self.stats,
+                "branch": self.branch_unit.stats,
+                "hierarchy": self.hierarchy.stats,
+                "l1d": self.hierarchy.l1d.stats,
+                "l2": self.hierarchy.l2.stats,
+                "dq": self.dq.stats,
+                "dq_occupancy": self.dq.occupancy,
+                "sb": self.sb.stats,
+                "sb_occupancy": self.sb.occupancy,
+                "checkpoints": self.checkpoints.stats,
+            },
+        )
+
+    # ==================================================================
+    # Normal (non-speculative) mode — the in-order substrate.
+    # ==================================================================
+
+    def _normal_issue_at(self, earliest: int) -> int:
+        if earliest > self._cycle:
+            self._account_mode_cycles(earliest)
+            self._cycle = earliest
+            self._slots = 0
+        slot = self._cycle
+        self._slots += 1
+        if self._slots >= self.config.width:
+            self._account_mode_cycles(self._cycle + 1)
+            self._cycle += 1
+            self._slots = 0
+        return slot
+
+    def _account_mode_cycles(self, new_cycle: int) -> None:
+        delta = new_cycle - self._mode_account_cycle
+        if delta > 0:
+            self.stats.mode_cycles[self.mode.value] += delta
+            self._mode_account_cycle = new_cycle
+
+    def _defer_triggering(self, result: AccessResult) -> bool:
+        if result.tlb_miss and self.config.defer_on_tlb_miss:
+            return True
+        if self.config.defer_trigger is DeferTrigger.L1_MISS:
+            return not result.l1_hit
+        return result.went_to_dram
+
+    def _episode_allowed(self, pc: int) -> bool:
+        """One-shot post-rollback suppression (see ``_suppress_pc``)."""
+        if pc == self._suppress_pc and self._seq == self._suppress_seq:
+            self._suppress_pc = -1
+            self._suppress_seq = -1
+            return False
+        return True
+
+    def _normal_step(self, budget: int,
+                     until: Optional[int] = None) -> Optional[str]:
+        """Run normal mode until HALT or a speculative episode starts.
+
+        With ``until`` set, returns "yield" before issuing anything at
+        or beyond that cycle (resumable for multicore interleaving).
+        """
+        state = self.state
+        program = self.program
+        latencies = self.config.latencies
+        model_ifetch = self.hierarchy.config.model_ifetch
+        reg_ready = self._reg_ready
+        can_speculate = self.config.checkpoints >= 1
+
+        while True:
+            if until is not None and self._cycle >= until:
+                return "yield"
+            self._check_budget(self._executed, budget)
+            self._check_pc(self._pc)
+            pc = self._pc
+            inst = program[pc]
+            op = inst.op
+            cls = inst.op_class
+
+            earliest = self._cycle
+            for src in inst.source_regs():
+                if reg_ready[src] > earliest:
+                    earliest = reg_ready[src]
+            if until is not None and earliest >= until:
+                # The next instruction would issue beyond the quantum;
+                # hand control back without touching shared state.
+                self._account_mode_cycles(until)
+                self._cycle = until
+                self._slots = 0
+                return "yield"
+            if model_ifetch:
+                fetch = self.hierarchy.ifetch(pc, self._cycle)
+                earliest = max(earliest, fetch.ready_cycle)
+
+            if cls is OpClass.HALT:
+                self._executed += 1
+                self.stats.normal_insts += 1
+                if earliest > self._cycle:
+                    self._account_mode_cycles(earliest)
+                    self._cycle = earliest
+                return "halt"
+
+            slot = self._normal_issue_at(earliest)
+            self._executed += 1
+            self.stats.normal_insts += 1
+            next_pc = pc + 1
+
+            if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
+                a = state.read_reg(inst.rs1)
+                b = state.read_reg(inst.rs2)
+                value = compute_value(inst, a, b)
+                latency = self.op_latency(cls, latencies)
+                if (cls is OpClass.DIV and self.config.defer_long_ops
+                        and can_speculate and self._episode_allowed(pc)):
+                    # The committed write is withheld: the checkpoint
+                    # must capture pre-trigger state so a rollback can
+                    # re-execute the trigger itself.
+                    self._pc = next_pc
+                    self._begin_episode(
+                        pc, slot, inst.rd, slot + latency, value
+                    )
+                    return "spec"
+                state.write_reg(inst.rd, value)
+                if inst.rd != ZERO_REG:
+                    reg_ready[inst.rd] = slot + latency
+            elif cls is OpClass.LOAD:
+                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
+                value = state.memory.read(addr)
+                result = self.hierarchy.data_access(
+                    addr, slot, AccessType.LOAD, pc=pc
+                )
+                if (can_speculate and self._defer_triggering(result)
+                        and self._episode_allowed(pc)):
+                    self._pc = next_pc
+                    self._begin_episode(
+                        pc, slot, inst.rd, result.ready_cycle, value
+                    )
+                    return "spec"
+                state.write_reg(inst.rd, value)
+                if inst.rd != ZERO_REG:
+                    reg_ready[inst.rd] = result.ready_cycle
+            elif cls is OpClass.STORE:
+                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
+                state.memory.write(addr, state.read_reg(inst.rs2))
+                result = self.hierarchy.data_access(
+                    addr, slot, AccessType.STORE, pc=pc
+                )
+                self._drain_busy = max(self._drain_busy, result.ready_cycle)
+            elif cls is OpClass.PREFETCH:
+                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
+                self.hierarchy.prefetch(addr, slot)
+            elif cls is OpClass.BRANCH:
+                taken = branch_taken(
+                    op, state.read_reg(inst.rs1), state.read_reg(inst.rs2)
+                )
+                mispredicted = self.branch_unit.resolve_cond(pc, taken)
+                if taken:
+                    next_pc = inst.target
+                if mispredicted:
+                    redirect = (slot + latencies.alu
+                                + self.branch_unit.mispredict_penalty)
+                    if redirect > self._cycle:
+                        self._account_mode_cycles(redirect)
+                        self._cycle = redirect
+                        self._slots = 0
+            elif cls is OpClass.JUMP:
+                state.write_reg(inst.rd, pc + 1)
+                if inst.rd != ZERO_REG:
+                    reg_ready[inst.rd] = slot + 1
+                if self.is_call(inst):
+                    self.branch_unit.push_return(pc + 1)
+                next_pc = inst.target
+            elif cls is OpClass.JUMP_INDIRECT:
+                target = effective_address(state.read_reg(inst.rs1), inst.imm)
+                self._check_pc(target)
+                mispredicted = self.branch_unit.resolve_indirect(
+                    pc, target, is_return=self.is_return(inst)
+                )
+                state.write_reg(inst.rd, pc + 1)
+                if inst.rd != ZERO_REG:
+                    reg_ready[inst.rd] = slot + 1
+                if self.is_call(inst):
+                    self.branch_unit.push_return(pc + 1)
+                next_pc = target
+                if mispredicted:
+                    redirect = (slot + latencies.alu
+                                + self.branch_unit.mispredict_penalty)
+                    if redirect > self._cycle:
+                        self._account_mode_cycles(redirect)
+                        self._cycle = redirect
+                        self._slots = 0
+            elif cls is OpClass.BARRIER:
+                drain = max(max(reg_ready), self._drain_busy)
+                if drain > self._cycle:
+                    self._account_mode_cycles(drain)
+                    self._cycle = drain
+                    self._slots = 0
+            # NOP: nothing.
+
+            self._pc = next_pc
+
+    # ==================================================================
+    # Episode lifecycle.
+    # ==================================================================
+
+    def _begin_episode(self, trigger_pc: int, trigger_slot: int,
+                       trigger_rd: int, data_ready: int,
+                       value: int) -> None:
+        """Checkpoint at the triggering instruction and go speculative.
+
+        The triggering load/long-op has already issued (its value is
+        functionally known, its timing pending); its destination becomes
+        NA and its result is the episode's first pending producer.
+        """
+        self.stats.episodes += 1
+        # The trigger was provisionally counted by normal mode, but it
+        # now belongs to the episode: it holds the epoch's first seq,
+        # so it is an ahead-strand issue that commits with the episode
+        # (or is re-executed after a rollback).
+        self._executed -= 1
+        self.stats.normal_insts -= 1
+        self.stats.ahead_insts += 1
+        spec = SpeculativeRegisters(self.state.regs)
+        spec.ready[:] = self._reg_ready
+        # The checkpoint snapshot excludes the trigger's own result.
+        snapshot = spec.snapshot()
+        self.spec = spec
+        seq = self._seq
+        self._seq += 1
+        self.checkpoints.take(Checkpoint(
+            start_seq=seq, pc=trigger_pc, regs=snapshot,
+            taken_cycle=trigger_slot, cause_seq=seq,
+        ))
+        self._slice_values = {seq: value}
+        self._producer_ready = {seq: data_ready}
+        self._spec_loads = []
+        self._scout_stores = {}
+        self._ahead_pc = self._pc
+        self._ahead_block = None
+        self._ahead_barrier = trigger_slot + self.config.checkpoint_latency
+        self._replay_no_boundary = False
+        if trigger_rd != ZERO_REG:
+            spec.write_na(trigger_rd, seq)
+        self._account_mode_cycles(self._cycle)
+        if self.config.scout_only:
+            self._enter_scout(ScoutCause.SCOUT_ONLY)
+        else:
+            self.mode = ExecMode.EXECUTE_AHEAD
+
+    def _outstanding(self, cycle: int) -> List[int]:
+        return [ready for ready in self._producer_ready.values()
+                if ready > cycle]
+
+    def _enter_scout(self, cause: ScoutCause) -> None:
+        self.stats.scout_sessions[cause] += 1
+        self._account_mode_cycles(self._cycle)
+        self.mode = ExecMode.SCOUT
+        outstanding = self._outstanding(self._cycle)
+        self._scout_end = min(outstanding) if outstanding else self._cycle
+        if self._ahead_block in ("dq_full", "sb_full"):
+            self._ahead_block = None
+
+    def _teardown_episode(self) -> None:
+        self.spec = None
+        self.dq.clear()
+        self.sb.clear()
+        self.checkpoints.clear()
+        self._slice_values = {}
+        self._producer_ready = {}
+        self._spec_loads = []
+        self._scout_stores = {}
+        self._ahead_block = None
+        self._replay_no_boundary = False
+        self._account_mode_cycles(self._cycle)
+        self.mode = ExecMode.NORMAL
+
+    def _rollback(self, cycle: int, cause: Optional[FailCause]) -> None:
+        """Restore the oldest checkpoint; cause None = scout ending."""
+        target = self.checkpoints.oldest()
+        if cause is not None:
+            self.stats.fails[cause] += 1
+        self.stats.discarded_insts += self._seq - target.start_seq
+        self._seq = target.start_seq
+        self._pc = target.pc
+        self._suppress_pc = target.pc
+        self._suppress_seq = target.start_seq
+        restart = cycle + self.config.rollback_penalty
+        self._cycle = max(self._cycle, cycle)
+        self._account_mode_cycles(restart)
+        self._cycle = restart
+        self._slots = 0
+        self._reg_ready = [restart] * REG_COUNT
+        self._teardown_episode()
+
+    def _materialize(self, snapshot) -> List[int]:
+        values = list(snapshot.values)
+        for reg, producer in snapshot.na_producer.items():
+            values[reg] = self._slice_values[producer]
+        return values
+
+    def _drain_stores(self, entries, cycle: int) -> None:
+        """Commit stores to memory and the cache, with drain bandwidth."""
+        drained_this_cycle = 0
+        at = max(cycle, self._drain_busy)
+        for entry in entries:
+            self.state.memory.write(entry.addr, entry.value)
+            self.hierarchy.data_access(entry.addr, at, AccessType.STORE)
+            drained_this_cycle += 1
+            if drained_this_cycle >= self.config.commit_drain_per_cycle:
+                at += 1
+                drained_this_cycle = 0
+        self._drain_busy = max(self._drain_busy, at)
+
+    def _try_commits(self, cycle: int) -> None:
+        """Region commits oldest-first, then a full commit if possible."""
+        if self.mode is ExecMode.SCOUT or self.spec is None:
+            return
+
+        # Region commits: is the oldest epoch [ckpt0, ckpt1) fully
+        # resolved?  (DQ drained below the boundary, all its pending
+        # producers back.)
+        while len(self.checkpoints) >= 2:
+            live = self.checkpoints.live()
+            boundary = live[1]
+            head = self.dq.head()
+            if head is not None and head.seq < boundary.start_seq:
+                break
+            if any(seq < boundary.start_seq and ready > cycle
+                   for seq, ready in self._producer_ready.items()):
+                break
+            self.state.regs = self._materialize(boundary.regs)
+            self._drain_stores(self.sb.drain_below(boundary.start_seq), cycle)
+            self._spec_loads = [
+                record for record in self._spec_loads
+                if record[0] >= boundary.start_seq
+            ]
+            self.checkpoints.release_oldest()
+            committed = boundary.start_seq - live[0].start_seq
+            self.stats.region_commits += 1
+            self.stats.committed_spec_insts += committed
+            self._executed += committed
+            # A freed checkpoint lets a paused ahead strand resume (the
+            # next replay region will re-evaluate its protection).
+            if self._replay_no_boundary:
+                self._replay_no_boundary = False
+                if self._ahead_block == "replay":
+                    self._ahead_block = None
+
+        # Full commit: everything resolved.
+        if self.dq:
+            return
+        if any(ready > cycle for ready in self._producer_ready.values()):
+            return
+        spec = self.spec
+        if spec is None:
+            return
+        for reg, producer in list(spec.na_producer.items()):
+            ready = self._producer_ready.get(producer)
+            if ready is None:
+                raise SimulatorInvariantError(
+                    f"NA register r{reg} with unknown producer {producer}"
+                )
+            spec.values[reg] = self._slice_values[producer]
+            spec.ready[reg] = max(spec.ready[reg], ready)
+            del spec.na_producer[reg]
+        self.state.regs = list(spec.values)
+        self._drain_stores(self.sb.drain_all(), cycle)
+        oldest = self.checkpoints.oldest()
+        committed = self._seq - oldest.start_seq
+        self.stats.committed_spec_insts += committed
+        self._executed += committed
+        self.stats.full_commits += 1
+        self._pc = self._ahead_pc
+        self._reg_ready = list(spec.ready)
+        self._cycle = max(self._cycle, cycle)
+        self._slots = 0
+        self._teardown_episode()
+
+    # ==================================================================
+    # The speculative cycle loop.
+    # ==================================================================
+
+    def _speculative_loop(self, budget: int,
+                          until: Optional[int] = None) -> None:
+        width = self.config.width
+        while self.mode is not ExecMode.NORMAL:
+            if until is not None and self._cycle >= until:
+                return
+            cycle = self._cycle
+            wakes: List[int] = []
+
+            if self.mode is ExecMode.SCOUT:
+                if cycle >= self._scout_end:
+                    self._rollback(cycle, cause=None)
+                    return
+                wakes.append(self._scout_end)
+
+            self._try_commits(cycle)
+            if self.mode is ExecMode.NORMAL:
+                return
+
+            budget_left = width
+            issued_replay = 0
+            issued_ahead = 0
+
+            # ---- replay strand (priority) ----------------------------
+            if self.mode is not ExecMode.SCOUT:
+                while budget_left > 0:
+                    status, wake = self._try_replay_issue(cycle)
+                    if status is _ISSUED:
+                        issued_replay += 1
+                        budget_left -= 1
+                        if self.mode is ExecMode.NORMAL:
+                            return  # rollback mid-replay
+                        continue
+                    if wake is not None:
+                        wakes.append(wake)
+                    break
+                self._try_commits(cycle)
+                if self.mode is ExecMode.NORMAL:
+                    return
+
+            # ---- ahead strand ----------------------------------------
+            while budget_left > 0:
+                self._check_budget(
+                    self.stats.normal_insts + self.stats.ahead_insts, budget
+                )
+                status, wake = self._try_ahead_issue(cycle)
+                if status is _ISSUED:
+                    issued_ahead += 1
+                    budget_left -= 1
+                    continue
+                if status is _RETRY:
+                    continue
+                if wake is not None:
+                    wakes.append(wake)
+                break
+
+            self._try_commits(cycle)
+            if self.mode is ExecMode.NORMAL:
+                return
+
+            # ---- classify this cycle for the mode breakdown ----------
+            self._classify_mode(issued_replay, issued_ahead)
+
+            # ---- advance time ----------------------------------------
+            if issued_replay or issued_ahead:
+                next_cycle = cycle + 1
+            else:
+                future = [w for w in wakes if w > cycle]
+                outstanding = self._outstanding(cycle)
+                future.extend(outstanding)
+                if not future:
+                    raise SimulatorInvariantError(
+                        f"speculative deadlock at cycle {cycle} "
+                        f"(mode={self.mode}, block={self._ahead_block})"
+                    )
+                next_cycle = min(future)
+            if until is not None:
+                # Bounded-skew interleaving: never run past the quantum.
+                next_cycle = min(next_cycle, until)
+            self._account_mode_cycles(next_cycle)
+            self._cycle = next_cycle
+
+    def _classify_mode(self, issued_replay: int, issued_ahead: int) -> None:
+        if self.mode is ExecMode.SCOUT:
+            return
+        if issued_replay and issued_ahead:
+            self.mode = ExecMode.SST
+        elif issued_replay:
+            self.mode = (ExecMode.REPLAY_ONLY if self._replay_no_boundary
+                         else ExecMode.SST)
+        elif self._replay_no_boundary:
+            self.mode = ExecMode.REPLAY_ONLY
+        else:
+            self.mode = ExecMode.EXECUTE_AHEAD
+
+    # ==================================================================
+    # Replay strand.
+    # ==================================================================
+
+    def _replay_entry_ready(self, entry: DQEntry,
+                            cycle: int) -> Optional[int]:
+        """Cycle at which the entry's captured producers are all done,
+        or None if a producer has not even replayed yet."""
+        ready = cycle
+        for producer in entry.producers():
+            if producer not in self._slice_values:
+                return None  # producer itself still queued
+            ready = max(ready, self._producer_ready[producer])
+        return ready
+
+    def _try_replay_issue(self, cycle: int) -> Tuple[str, Optional[int]]:
+        """Pick the oldest *ready* DQ entry and replay it.
+
+        ROCK re-defers not-ready entries rather than stalling the
+        replay strand behind them, so a dependent miss inside the
+        deferred slice does not serialise the replay of unrelated
+        entries.  Memory order is preserved by construction: a load is
+        only eligible when no older unresolved store could alias it,
+        and an entry's producers are always older and therefore
+        eligible before it.
+        """
+        if not self.dq:
+            return _BLOCKED, None
+
+        selected: Optional[DQEntry] = None
+        wake: Optional[int] = None
+        for entry in self.dq:
+            ready = self._replay_entry_ready(entry, cycle)
+            if ready is None:
+                continue
+            if ready > cycle:
+                wake = ready if wake is None else min(wake, ready)
+                continue
+            if entry.inst.is_load:
+                base = (entry.rs1_value if entry.rs1_producer is None
+                        else self._slice_values[entry.rs1_producer])
+                addr = effective_address(base or 0, entry.inst.imm)
+                if self.sb.unresolved.blocks_load(addr, entry.seq,
+                                                  conservative=True):
+                    continue  # the blocking store replays first
+            selected = entry
+            break
+        if selected is None:
+            return _BLOCKED, wake
+
+        # Permission: a boundary checkpoint must protect the ahead
+        # strand, or the ahead strand must pause (execute-ahead).
+        protected = self.checkpoints.boundary_above(selected.seq) is not None
+        if not protected:
+            if self.checkpoints.has_free:
+                spec = self.spec
+                assert spec is not None
+                self.checkpoints.take(
+                    Checkpoint(start_seq=self._seq, pc=self._ahead_pc,
+                               regs=spec.snapshot(), taken_cycle=cycle),
+                    boundary=True,
+                )
+            else:
+                self._replay_no_boundary = True
+                if self._ahead_block is None:
+                    self._ahead_block = "replay"
+
+        self.dq.remove(selected)
+        self._execute_replay(selected, cycle)
+        self.stats.replay_insts += 1
+        return _ISSUED, None
+
+    def _replay_operands(self, entry: DQEntry) -> Tuple[int, int]:
+        if entry.rs1_producer is not None:
+            a = self._slice_values[entry.rs1_producer]
+        else:
+            a = entry.rs1_value if entry.rs1_value is not None else 0
+        if entry.rs2_producer is not None:
+            b = self._slice_values[entry.rs2_producer]
+        else:
+            b = entry.rs2_value if entry.rs2_value is not None else 0
+        return a, b
+
+    def _execute_replay(self, entry: DQEntry, cycle: int) -> None:
+        spec = self.spec
+        assert spec is not None
+        inst = entry.inst
+        cls = inst.op_class
+        a, b = self._replay_operands(entry)
+        latencies = self.config.latencies
+
+        if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
+            value = compute_value(inst, a, b)
+            complete = cycle + self.op_latency(cls, latencies)
+            self._slice_values[entry.seq] = value
+            self._producer_ready[entry.seq] = complete
+            spec.apply_replayed(inst.rd, value, entry.seq, complete)
+        elif cls is OpClass.LOAD:
+            addr = effective_address(a, inst.imm)
+            forwarded = self.sb.forward(addr, entry.seq)
+            if forwarded is not None:
+                value = forwarded[0]
+                complete = cycle + FORWARD_LATENCY
+            else:
+                value = self.state.memory.read(addr)
+                result = self.hierarchy.data_access(
+                    addr, cycle, AccessType.LOAD, pc=entry.pc
+                )
+                complete = result.ready_cycle
+                if self._defer_triggering(result):
+                    self.stats.deferred_loads_missed_again += 1
+            self._slice_values[entry.seq] = value
+            self._producer_ready[entry.seq] = complete
+            spec.apply_replayed(inst.rd, value, entry.seq, complete)
+        elif cls is OpClass.STORE:
+            addr = effective_address(a, inst.imm)
+            if entry.order_defer:
+                # Deferred only for ordering; it already has a resolved
+                # SB entry?  No — order-deferred *stores* do not exist;
+                # stores always resolve through the SB placeholder.
+                raise SimulatorInvariantError("order-deferred store")
+            self.sb.resolve(entry.seq, addr, b)
+            if self._check_order_violation(entry.seq, addr):
+                self._rollback(cycle, FailCause.MEMORY_ORDER_VIOLATION)
+                return
+        elif cls is OpClass.BRANCH:
+            actual = branch_taken(inst.op, a, b)
+            assert entry.predicted_taken is not None
+            mispredicted = self.branch_unit.resolve_deferred_cond(
+                entry.pc, entry.predicted_taken, actual
+            )
+            if mispredicted:
+                self._rollback(cycle, FailCause.DEFERRED_BRANCH_MISPREDICT)
+                return
+        elif cls is OpClass.JUMP_INDIRECT:
+            target = effective_address(a, inst.imm)
+            self._check_pc(target)
+            if entry.predicted_target is None:
+                # The ahead strand stalled at this jump; resume it.
+                self._ahead_pc = target
+                if self._ahead_block == "jump_na":
+                    self._ahead_block = None
+                self._ahead_barrier = max(
+                    self._ahead_barrier,
+                    cycle + self.branch_unit.mispredict_penalty,
+                )
+                self.branch_unit.resolve_deferred_indirect(
+                    entry.pc, None, target, is_return=self.is_return(inst)
+                )
+            else:
+                mispredicted = self.branch_unit.resolve_deferred_indirect(
+                    entry.pc, entry.predicted_target, target,
+                    is_return=self.is_return(inst),
+                )
+                if mispredicted:
+                    self._rollback(cycle, FailCause.DEFERRED_JUMP_MISPREDICT)
+                    return
+        else:  # pragma: no cover - nothing else is deferrable
+            raise SimulatorInvariantError(f"undeferred class {cls} in DQ")
+
+    def _check_order_violation(self, store_seq: int, store_addr: int) -> bool:
+        """Did a younger speculative load miss this store's data?"""
+        for load_seq, load_addr, src_seq in self._spec_loads:
+            if (load_seq > store_seq and load_addr == store_addr
+                    and src_seq < store_seq):
+                return True
+        return False
+
+    # ==================================================================
+    # Ahead strand.
+    # ==================================================================
+
+    def _try_ahead_issue(self, cycle: int) -> Tuple[str, Optional[int]]:
+        if self._ahead_block is not None:
+            return self._handle_block(cycle)
+        if cycle < self._ahead_barrier:
+            return _BLOCKED, self._ahead_barrier
+        spec = self.spec
+        assert spec is not None
+        pc = self._ahead_pc
+        if not 0 <= pc < len(self.program):
+            # Only reachable down a predicted wrong path: park until the
+            # mispredicted deferred branch rolls the episode back.
+            self._ahead_block = "fault"
+            return _BLOCKED, None
+        inst = self.program[pc]
+        cls = inst.op_class
+
+        if cls is OpClass.HALT:
+            if self.mode is ExecMode.SCOUT:
+                self._ahead_block = "fault"  # park until scout ends
+                return _BLOCKED, None
+            self._ahead_block = "halt"
+            return _BLOCKED, None
+        if cls is OpClass.BARRIER:
+            if self.mode is ExecMode.SCOUT:
+                self._ahead_pc += 1  # scout discards ordering anyway
+                return self._consume_slot(cycle)
+            self._ahead_block = "membar"
+            return _BLOCKED, None
+
+        sources = inst.source_regs()
+        na_sources = [src for src in sources if spec.is_na(src)]
+
+        if self.mode is ExecMode.SCOUT:
+            return self._scout_issue(inst, pc, cycle, na_sources)
+
+        if na_sources:
+            return self._defer_issue(inst, pc, cycle)
+
+        # All operands available: classic stall-on-use timing.
+        wake = cycle
+        for src in sources:
+            if spec.ready[src] > wake:
+                wake = spec.ready[src]
+        if wake > cycle:
+            return _BLOCKED, wake
+        return self._ahead_execute(inst, pc, cycle)
+
+    def _handle_block(self, cycle: int) -> Tuple[str, Optional[int]]:
+        block = self._ahead_block
+        if block == "dq_full" and not self.dq.full and not self._replay_no_boundary:
+            self._ahead_block = None
+            return _RETRY, None
+        if block == "sb_full" and not self.sb.full and not self._replay_no_boundary:
+            self._ahead_block = None
+            return _RETRY, None
+        return _BLOCKED, None
+
+    def _consume_slot(self, cycle: int) -> Tuple[str, Optional[int]]:
+        self._seq += 1
+        self.stats.ahead_insts += 1
+        return _ISSUED, None
+
+    def _capture(self, inst, spec) -> Dict[str, Optional[int]]:
+        """Capture rs1/rs2 as values or producer seqs for a DQ entry."""
+        fields: Dict[str, Optional[int]] = {
+            "rs1_value": None, "rs1_producer": None,
+            "rs2_value": None, "rs2_producer": None,
+        }
+        if inst.op in READS_RS1:
+            producer = spec.producer_of(inst.rs1)
+            if producer is None:
+                fields["rs1_value"] = spec.read(inst.rs1)
+            else:
+                fields["rs1_producer"] = producer
+        if inst.op in READS_RS2:
+            producer = spec.producer_of(inst.rs2)
+            if producer is None:
+                fields["rs2_value"] = spec.read(inst.rs2)
+            else:
+                fields["rs2_producer"] = producer
+        return fields
+
+    def _defer_issue(self, inst, pc: int, cycle: int,
+                     order_defer: bool = False) -> Tuple[str, Optional[int]]:
+        """Park the instruction in the DQ (NA operand or memory order)."""
+        spec = self.spec
+        assert spec is not None
+        cls = inst.op_class
+        seq = self._seq
+
+        if cls is OpClass.PREFETCH:
+            # A prefetch with an NA address is useless; drop it.
+            self._ahead_pc = pc + 1
+            return self._consume_slot(cycle)
+
+        entry = DQEntry(seq=seq, pc=pc, inst=inst,
+                        order_defer=order_defer, **self._capture(inst, spec))
+        next_pc = pc + 1
+
+        if cls is OpClass.BRANCH:
+            entry.predicted_taken = self.branch_unit.predict_cond(pc)
+            next_pc = inst.target if entry.predicted_taken else pc + 1
+            self.stats.deferred_branches += 1
+        elif cls is OpClass.JUMP_INDIRECT:
+            entry.predicted_target = self.branch_unit.predict_indirect(
+                pc, is_return=self.is_return(inst)
+            )
+            if entry.predicted_target is not None and not (
+                    0 <= entry.predicted_target < len(self.program)):
+                entry.predicted_target = None
+            self.stats.deferred_jumps += 1
+
+        if cls is OpClass.STORE:
+            spec_addr = None
+            if entry.rs1_producer is None and entry.rs1_value is not None:
+                spec_addr = effective_address(entry.rs1_value, inst.imm)
+            if self.sb.full:
+                return self._exhausted("sb_full", ScoutCause.SB_FULL)
+            if self.dq.full:
+                return self._exhausted("dq_full", ScoutCause.DQ_FULL)
+            self.sb.append_unresolved(seq, spec_addr)
+            self.dq.append(entry)
+        else:
+            if not self.dq.append(entry):
+                return self._exhausted("dq_full", ScoutCause.DQ_FULL)
+
+        self.stats.deferred += 1
+        if order_defer:
+            self.stats.order_deferred += 1
+        if inst.writes_reg:
+            if cls is OpClass.JUMP_INDIRECT:
+                # The link value is known even when the target is not.
+                spec.write_available(inst.rd, pc + 1, seq, cycle + 1)
+            else:
+                spec.write_na(inst.rd, seq)
+                # Placeholder: replay fills the real completion time.
+                # In-order replay guarantees nothing reads it earlier.
+                self._producer_ready[seq] = 0
+
+        if cls is OpClass.JUMP_INDIRECT and entry.predicted_target is None:
+            self._ahead_block = "jump_na"
+            self._seq += 1
+            self.stats.ahead_insts += 1
+            return _ISSUED, None
+
+        if cls is OpClass.JUMP_INDIRECT:
+            next_pc = entry.predicted_target
+
+        self._ahead_pc = next_pc
+        return self._consume_slot(cycle)
+
+    def _exhausted(self, block: str,
+                   cause: ScoutCause) -> Tuple[str, Optional[int]]:
+        if self.config.scout_enabled:
+            self._enter_scout(cause)
+            return _RETRY, None
+        self._ahead_block = block
+        return _BLOCKED, None
+
+    def _ahead_execute(self, inst, pc: int,
+                       cycle: int) -> Tuple[str, Optional[int]]:
+        """Speculatively execute an available-operand instruction."""
+        spec = self.spec
+        assert spec is not None
+        cls = inst.op_class
+        op = inst.op
+        latencies = self.config.latencies
+        seq = self._seq
+        next_pc = pc + 1
+
+        if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
+            a = spec.read(inst.rs1)
+            b = spec.read(inst.rs2)
+            value = compute_value(inst, a, b)
+            latency = self.op_latency(cls, latencies)
+            if cls is OpClass.DIV and self.config.defer_long_ops:
+                spec.write_na(inst.rd, seq)
+                self._slice_values[seq] = value
+                self._producer_ready[seq] = cycle + latency
+            else:
+                spec.write_available(inst.rd, value, seq, cycle + latency)
+        elif cls is OpClass.LOAD:
+            base = spec.read(inst.rs1)
+            addr = effective_address(base, inst.imm)
+            if addr % 8 != 0:
+                self._ahead_block = "fault"
+                return _BLOCKED, None
+            conservative = not self.config.bypass_unresolved_stores
+            if self.sb.unresolved.blocks_load(addr, seq, conservative):
+                return self._defer_issue(inst, pc, cycle, order_defer=True)
+            forwarded = self.sb.forward(addr, seq)
+            if self.config.bypass_unresolved_stores and (
+                    self.sb.unresolved.any_below(seq)):
+                src = forwarded[1] if forwarded is not None else -1
+                self._spec_loads.append((seq, addr, src))
+            if forwarded is not None:
+                spec.write_available(
+                    inst.rd, forwarded[0], seq, cycle + FORWARD_LATENCY
+                )
+            else:
+                value = self.state.memory.read(addr)
+                result = self.hierarchy.data_access(
+                    addr, cycle, AccessType.LOAD, pc=pc
+                )
+                if self._defer_triggering(result):
+                    spec.write_na(inst.rd, seq)
+                    self._slice_values[seq] = value
+                    self._producer_ready[seq] = result.ready_cycle
+                    outstanding = len(self._outstanding(cycle))
+                    self.stats.peak_outstanding_misses = max(
+                        self.stats.peak_outstanding_misses, outstanding
+                    )
+                else:
+                    spec.write_available(
+                        inst.rd, value, seq, result.ready_cycle
+                    )
+        elif cls is OpClass.STORE:
+            base = spec.read(inst.rs1)
+            addr = effective_address(base, inst.imm)
+            if addr % 8 != 0:
+                self._ahead_block = "fault"
+                return _BLOCKED, None
+            if not self.sb.append_resolved(seq, addr, spec.read(inst.rs2)):
+                return self._exhausted("sb_full", ScoutCause.SB_FULL)
+        elif cls is OpClass.PREFETCH:
+            addr = effective_address(spec.read(inst.rs1), inst.imm)
+            if addr % 8 == 0:
+                self.hierarchy.prefetch(addr, cycle)
+        elif cls is OpClass.BRANCH:
+            taken = branch_taken(op, spec.read(inst.rs1), spec.read(inst.rs2))
+            mispredicted = self.branch_unit.resolve_cond(pc, taken)
+            if taken:
+                next_pc = inst.target
+            if mispredicted:
+                self._ahead_barrier = max(
+                    self._ahead_barrier,
+                    cycle + latencies.alu + self.branch_unit.mispredict_penalty,
+                )
+        elif op is Op.JAL:
+            spec.write_available(inst.rd, pc + 1, seq, cycle + 1)
+            if self.is_call(inst):
+                self.branch_unit.push_return(pc + 1)
+            next_pc = inst.target
+        elif op is Op.JALR:
+            target = effective_address(spec.read(inst.rs1), inst.imm)
+            if not 0 <= target < len(self.program):
+                self._ahead_block = "fault"
+                return _BLOCKED, None
+            mispredicted = self.branch_unit.resolve_indirect(
+                pc, target, is_return=self.is_return(inst)
+            )
+            spec.write_available(inst.rd, pc + 1, seq, cycle + 1)
+            if self.is_call(inst):
+                self.branch_unit.push_return(pc + 1)
+            next_pc = target
+            if mispredicted:
+                self._ahead_barrier = max(
+                    self._ahead_barrier,
+                    cycle + latencies.alu + self.branch_unit.mispredict_penalty,
+                )
+        # NOP: nothing.
+
+        self._ahead_pc = next_pc
+        return self._consume_slot(cycle)
+
+    # ==================================================================
+    # Scout mode (prefetch-only run-ahead).
+    # ==================================================================
+
+    def _scout_issue(self, inst, pc: int, cycle: int,
+                     na_sources) -> Tuple[str, Optional[int]]:
+        spec = self.spec
+        assert spec is not None
+        cls = inst.op_class
+        op = inst.op
+        seq = self._seq
+        next_pc = pc + 1
+
+        if na_sources:
+            if cls is OpClass.BRANCH:
+                predicted = self.branch_unit.predict_cond(pc)
+                next_pc = inst.target if predicted else pc + 1
+            elif op is Op.JALR:
+                predicted = self.branch_unit.predict_indirect(
+                    pc, is_return=self.is_return(inst)
+                )
+                if predicted is None or not 0 <= predicted < len(self.program):
+                    self._ahead_block = "fault"  # park until scout ends
+                    return _BLOCKED, None
+                spec.write_available(inst.rd, pc + 1, seq, cycle + 1)
+                next_pc = predicted
+            elif inst.writes_reg:
+                spec.write_na(inst.rd, seq)
+                self._producer_ready.setdefault(seq, self._scout_end)
+                self._slice_values.setdefault(seq, 0)
+            self._ahead_pc = next_pc
+            return self._consume_slot(cycle)
+
+        # Operands available: stall-on-use still applies in scout.
+        wake = cycle
+        for src in inst.source_regs():
+            if spec.ready[src] > wake:
+                wake = spec.ready[src]
+        if wake > cycle:
+            return _BLOCKED, wake
+
+        if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
+            a = spec.read(inst.rs1)
+            b = spec.read(inst.rs2)
+            latency = self.op_latency(cls, self.config.latencies)
+            spec.write_available(
+                inst.rd, compute_value(inst, a, b), seq, cycle + latency
+            )
+        elif cls is OpClass.LOAD:
+            addr = effective_address(spec.read(inst.rs1), inst.imm)
+            if addr % 8 != 0:
+                self._ahead_block = "fault"
+                return _BLOCKED, None
+            result = self.hierarchy.prefetch(addr, cycle)
+            self.stats.scout_prefetches += 1
+            if addr in self._scout_stores:
+                value = self._scout_stores[addr]
+            else:
+                forwarded = self.sb.forward(addr, seq)
+                value = (forwarded[0] if forwarded is not None
+                         else self.state.memory.read(addr))
+            if self._defer_triggering(result):
+                spec.write_na(inst.rd, seq)
+                self._producer_ready.setdefault(seq, result.ready_cycle)
+                self._slice_values.setdefault(seq, value)
+            else:
+                spec.write_available(inst.rd, value, seq, result.ready_cycle)
+        elif cls is OpClass.STORE:
+            addr = effective_address(spec.read(inst.rs1), inst.imm)
+            if addr % 8 != 0:
+                self._ahead_block = "fault"
+                return _BLOCKED, None
+            # Prefetch the line for ownership; the value is discarded at
+            # rollback but kept locally so later scout loads see it.
+            self.hierarchy.prefetch(addr, cycle)
+            self.stats.scout_prefetches += 1
+            self._scout_stores[addr] = spec.read(inst.rs2)
+        elif cls is OpClass.PREFETCH:
+            addr = effective_address(spec.read(inst.rs1), inst.imm)
+            if addr % 8 == 0:
+                self.hierarchy.prefetch(addr, cycle)
+        elif cls is OpClass.BRANCH:
+            taken = branch_taken(op, spec.read(inst.rs1), spec.read(inst.rs2))
+            self.branch_unit.resolve_cond(pc, taken)
+            if taken:
+                next_pc = inst.target
+        elif op is Op.JAL:
+            spec.write_available(inst.rd, pc + 1, seq, cycle + 1)
+            if self.is_call(inst):
+                self.branch_unit.push_return(pc + 1)
+            next_pc = inst.target
+        elif op is Op.JALR:
+            target = effective_address(spec.read(inst.rs1), inst.imm)
+            if not 0 <= target < len(self.program):
+                self._ahead_block = "fault"
+                return _BLOCKED, None
+            self.branch_unit.resolve_indirect(
+                pc, target, is_return=self.is_return(inst)
+            )
+            spec.write_available(inst.rd, pc + 1, seq, cycle + 1)
+            if self.is_call(inst):
+                self.branch_unit.push_return(pc + 1)
+            next_pc = target
+
+        self._ahead_pc = next_pc
+        return self._consume_slot(cycle)

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the SST reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  The subclasses separate
+user mistakes (bad assembly, bad configuration) from simulator-internal
+invariant violations, which always indicate a library bug.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class AssemblyError(ReproError):
+    """The assembler rejected the source text (syntax, unknown opcode,
+    undefined label, out-of-range operand)."""
+
+    def __init__(self, message: str, line_number: int = 0, line: str = ""):
+        self.line_number = line_number
+        self.line = line
+        if line_number:
+            message = f"line {line_number}: {message}: {line!r}"
+        super().__init__(message)
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its legal range or the combination
+    of values is inconsistent (e.g. zero checkpoints with SST enabled)."""
+
+
+class ExecutionError(ReproError):
+    """The simulated program performed an illegal operation (misaligned
+    access, division by zero, jump outside the program, runaway loop)."""
+
+
+class SimulatorInvariantError(ReproError):
+    """An internal consistency check of a timing model failed.
+
+    This never indicates a problem with the simulated program; it means
+    the simulator itself is broken and should be reported as a bug.
+    """

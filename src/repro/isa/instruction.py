@@ -1,0 +1,123 @@
+"""The decoded instruction record shared by all models.
+
+An :class:`Instruction` is immutable; the timing cores wrap it in their
+own dynamic-instance records rather than mutating it.  PCs and branch
+targets are *instruction indices* (not byte addresses) — the ISA has no
+binary encoding, which removes an irrelevant layer from the models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import (
+    Op,
+    OpClass,
+    WRITES_RD,
+    READS_RS1,
+    READS_RS2,
+    CONTROL_OPS,
+    BRANCH_OPS,
+)
+from repro.isa.registers import reg_name
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Fields that an opcode does not use are left at their defaults and
+    ignored.  ``target`` is the resolved absolute instruction index for
+    branches and ``JAL``; the assembler fills it in from labels.
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target: int = 0
+    # Original label text, kept purely for disassembly readability.
+    label: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Static properties used by every core model.
+    # ------------------------------------------------------------------
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.op.op_class
+
+    @property
+    def writes_reg(self) -> bool:
+        """True if the instruction architecturally writes ``rd``.
+
+        Writes to ``r0`` still count here; the register file discards
+        them, which keeps dependence tracking uniform (cores must check
+        for the zero register themselves).
+        """
+        return self.op in WRITES_RD
+
+    def source_regs(self) -> Tuple[int, ...]:
+        """The register operands this instruction reads, in rs1,rs2 order."""
+        sources = []
+        if self.op in READS_RS1:
+            sources.append(self.rs1)
+        if self.op in READS_RS2:
+            sources.append(self.rs2)
+        return tuple(sources)
+
+    @property
+    def is_control(self) -> bool:
+        return self.op in CONTROL_OPS
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is Op.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is Op.ST
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in (Op.LD, Op.ST)
+
+    # ------------------------------------------------------------------
+    # Disassembly.
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        op = self.op
+        cls = self.op_class
+        tgt = self.label if self.label is not None else str(self.target)
+        if op is Op.MOVI:
+            return f"movi {reg_name(self.rd)}, {self.imm}"
+        if cls is OpClass.LOAD:
+            return f"ld {reg_name(self.rd)}, {self.imm}({reg_name(self.rs1)})"
+        if cls is OpClass.STORE:
+            return f"st {reg_name(self.rs2)}, {self.imm}({reg_name(self.rs1)})"
+        if cls is OpClass.PREFETCH:
+            return f"prefetch {self.imm}({reg_name(self.rs1)})"
+        if cls is OpClass.BRANCH:
+            return (
+                f"{op.value} {reg_name(self.rs1)}, {reg_name(self.rs2)}, {tgt}"
+            )
+        if op is Op.JAL:
+            return f"jal {reg_name(self.rd)}, {tgt}"
+        if op is Op.JALR:
+            return f"jalr {reg_name(self.rd)}, {reg_name(self.rs1)}, {self.imm}"
+        if op in (Op.MEMBAR, Op.NOP, Op.HALT):
+            return op.value
+        # Register-immediate ALU forms end in "i" (except movi, handled).
+        if op.value.endswith("i"):
+            return f"{op.value} {reg_name(self.rd)}, {reg_name(self.rs1)}, {self.imm}"
+        return (
+            f"{op.value} {reg_name(self.rd)}, "
+            f"{reg_name(self.rs1)}, {reg_name(self.rs2)}"
+        )

@@ -1,0 +1,153 @@
+"""Opcode enumeration and static classification.
+
+Each opcode carries a :class:`OpClass` that tells the timing models how
+to treat it (which functional unit, whether it reads/writes memory,
+whether it redirects control flow).  The classification is *static*
+information about the ISA; per-implementation latencies live in
+:mod:`repro.config`, not here.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Coarse instruction class used by the timing models."""
+
+    ALU = "alu"  # single-cycle integer op
+    MUL = "mul"  # long-latency multiply
+    DIV = "div"  # long-latency divide / remainder
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"  # conditional, relative to labels
+    JUMP = "jump"  # unconditional direct (JAL)
+    JUMP_INDIRECT = "jump_indirect"  # JALR
+    BARRIER = "barrier"  # MEMBAR
+    PREFETCH = "prefetch"
+    NOP = "nop"
+    HALT = "halt"
+
+
+class Op(enum.Enum):
+    """Every opcode in the ISA.
+
+    The value is the assembly mnemonic; :func:`Op.from_mnemonic` parses
+    it back.
+    """
+
+    # Register-register ALU.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SLTU = "sltu"
+
+    # Register-immediate ALU.
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    SRAI = "srai"
+    SLTI = "slti"
+    MOVI = "movi"  # rd <- 64-bit immediate
+
+    # Memory.
+    LD = "ld"  # rd <- mem64[rs1 + imm]
+    ST = "st"  # mem64[rs1 + imm] <- rs2
+    PREFETCH = "prefetch"  # warm mem64[rs1 + imm]; no architectural effect
+
+    # Control.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLTU = "bltu"
+    BGEU = "bgeu"
+    JAL = "jal"  # rd <- return index; pc <- target
+    JALR = "jalr"  # rd <- return index; pc <- rs1 + imm
+
+    # Misc.
+    MEMBAR = "membar"
+    NOP = "nop"
+    HALT = "halt"
+
+    @classmethod
+    def from_mnemonic(cls, text: str) -> "Op":
+        """Parse an assembly mnemonic (case-insensitive)."""
+        try:
+            return cls(text.lower())
+        except ValueError:
+            raise KeyError(text)
+
+    @property
+    def op_class(self) -> OpClass:
+        return _OP_CLASS[self]
+
+
+_ALU_OPS = {
+    Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR,
+    Op.SLL, Op.SRL, Op.SRA, Op.SLT, Op.SLTU,
+    Op.ADDI, Op.ANDI, Op.ORI, Op.XORI,
+    Op.SLLI, Op.SRLI, Op.SRAI, Op.SLTI, Op.MOVI,
+}
+
+_BRANCH_OPS = {Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU}
+
+_OP_CLASS = {}
+for _op in Op:
+    if _op in _ALU_OPS:
+        _OP_CLASS[_op] = OpClass.ALU
+    elif _op is Op.MUL:
+        _OP_CLASS[_op] = OpClass.MUL
+    elif _op in (Op.DIV, Op.REM):
+        _OP_CLASS[_op] = OpClass.DIV
+    elif _op is Op.LD:
+        _OP_CLASS[_op] = OpClass.LOAD
+    elif _op is Op.ST:
+        _OP_CLASS[_op] = OpClass.STORE
+    elif _op in _BRANCH_OPS:
+        _OP_CLASS[_op] = OpClass.BRANCH
+    elif _op is Op.JAL:
+        _OP_CLASS[_op] = OpClass.JUMP
+    elif _op is Op.JALR:
+        _OP_CLASS[_op] = OpClass.JUMP_INDIRECT
+    elif _op is Op.MEMBAR:
+        _OP_CLASS[_op] = OpClass.BARRIER
+    elif _op is Op.PREFETCH:
+        _OP_CLASS[_op] = OpClass.PREFETCH
+    elif _op is Op.NOP:
+        _OP_CLASS[_op] = OpClass.NOP
+    elif _op is Op.HALT:
+        _OP_CLASS[_op] = OpClass.HALT
+    else:  # pragma: no cover - exhaustiveness guard
+        raise AssertionError(f"unclassified opcode {_op}")
+
+
+# Opcodes whose result register is written (reads below are separate).
+WRITES_RD = _ALU_OPS | {Op.MUL, Op.DIV, Op.REM, Op.LD, Op.JAL, Op.JALR}
+
+# Opcodes that read rs1 / rs2 (MOVI reads nothing; branches read both).
+READS_RS1 = (
+    (_ALU_OPS - {Op.MOVI})
+    | {Op.MUL, Op.DIV, Op.REM, Op.LD, Op.ST, Op.PREFETCH, Op.JALR}
+    | _BRANCH_OPS
+)
+READS_RS2 = {
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM, Op.AND, Op.OR, Op.XOR,
+    Op.SLL, Op.SRL, Op.SRA, Op.SLT, Op.SLTU, Op.ST,
+} | _BRANCH_OPS
+
+# Control-flow opcodes (anything that may change the next PC).
+CONTROL_OPS = _BRANCH_OPS | {Op.JAL, Op.JALR}
+BRANCH_OPS = frozenset(_BRANCH_OPS)

@@ -1,0 +1,94 @@
+"""Program container: instructions, labels, and an initial data image.
+
+A :class:`Program` is what workload generators produce and what every
+core consumes.  The data image is a list of :class:`DataWord` records so
+that generators can lay out heaps, linked lists and tables without
+touching a memory model directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ReproError
+from repro.isa.instruction import Instruction
+
+WORD_SIZE = 8  # bytes per architectural word
+
+
+@dataclasses.dataclass(frozen=True)
+class DataWord:
+    """One initialised 64-bit word of the data image."""
+
+    addr: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.addr % WORD_SIZE != 0:
+            raise ReproError(f"data word at misaligned address {self.addr:#x}")
+
+
+class Program:
+    """An assembled program: instruction list + labels + data image.
+
+    Instances are conceptually immutable once built; workload generators
+    construct them through :class:`ProgramBuilder` or the assembler.
+    """
+
+    def __init__(
+        self,
+        instructions: List[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        data: Optional[Iterable[DataWord]] = None,
+        name: str = "program",
+    ):
+        self.instructions: List[Instruction] = list(instructions)
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.data: List[DataWord] = list(data or [])
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def label_of(self, index: int) -> Optional[str]:
+        """Reverse label lookup (first match), for disassembly."""
+        for name, at in self.labels.items():
+            if at == index:
+                return name
+        return None
+
+    def disassemble(self) -> str:
+        """A printable listing with labels, for debugging and examples."""
+        lines = []
+        for index, inst in enumerate(self.instructions):
+            label = self.label_of(index)
+            if label is not None:
+                lines.append(f"{label}:")
+            lines.append(f"  {index:5d}  {inst}")
+        return "\n".join(lines)
+
+    def validate(self) -> None:
+        """Check structural sanity: targets in range, ends in HALT.
+
+        Raises :class:`ReproError` on the first problem found.
+        """
+        from repro.isa.opcodes import Op, OpClass
+
+        if not self.instructions:
+            raise ReproError("empty program")
+        for index, inst in enumerate(self.instructions):
+            if inst.op_class in (OpClass.BRANCH, OpClass.JUMP):
+                if not 0 <= inst.target < len(self.instructions):
+                    raise ReproError(
+                        f"instruction {index} targets {inst.target}, "
+                        f"outside program of length {len(self.instructions)}"
+                    )
+        if not any(inst.op is Op.HALT for inst in self.instructions):
+            raise ReproError("program has no HALT instruction")

@@ -1,0 +1,43 @@
+"""Register-file naming for the small RISC ISA.
+
+32 general-purpose 64-bit registers.  ``r0`` always reads zero and
+ignores writes (like SPARC ``%g0``).  Two conventional aliases exist:
+``ra`` (return address, r31) and ``sp`` (stack pointer, r30).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblyError
+
+REG_COUNT = 32
+ZERO_REG = 0
+SP_REG = 30
+RA_REG = 31
+
+_ALIASES = {
+    "zero": ZERO_REG,
+    "sp": SP_REG,
+    "ra": RA_REG,
+}
+
+
+def reg_name(index: int) -> str:
+    """Canonical assembly name for a register index."""
+    if not 0 <= index < REG_COUNT:
+        raise ValueError(f"register index out of range: {index}")
+    return f"r{index}"
+
+
+def parse_reg(text: str) -> int:
+    """Parse ``r17`` / ``zero`` / ``ra`` / ``sp`` into an index.
+
+    Raises :class:`AssemblyError` on anything else.
+    """
+    name = text.strip().lower()
+    if name in _ALIASES:
+        return _ALIASES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        index = int(name[1:])
+        if 0 <= index < REG_COUNT:
+            return index
+    raise AssemblyError(f"not a register: {text!r}")

@@ -1,0 +1,110 @@
+"""Pure arithmetic/branch semantics shared by *every* execution engine.
+
+The functional interpreter, the in-order core, the OoO core and the SST
+core all call these helpers, so a semantic fix lands everywhere at once
+— and the golden-model equivalence tests cannot be fooled by two copies
+of the same bug.
+
+Values are 64-bit and stored as unsigned Python ints in ``[0, 2**64)``.
+Division follows the RISC-V convention: quotient of x/0 is all-ones,
+remainder of x/0 is x; overflow of INT_MIN / -1 wraps.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulatorInvariantError
+from repro.isa.opcodes import Op
+
+MASK64 = 2**64 - 1
+SIGN_BIT = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Reinterpret an unsigned 64-bit value as signed."""
+    return value - (1 << 64) if value & SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap any Python int into the unsigned 64-bit domain."""
+    return value & MASK64
+
+
+def alu_result(op: Op, a: int, b: int) -> int:
+    """Result of a register-register or register-immediate ALU op.
+
+    ``b`` is the second register value or the (already substituted)
+    immediate.  Returns an unsigned 64-bit value.
+    """
+    if op in (Op.ADD, Op.ADDI):
+        return (a + b) & MASK64
+    if op is Op.SUB:
+        return (a - b) & MASK64
+    if op is Op.MUL:
+        return (a * b) & MASK64
+    if op is Op.DIV:
+        if to_unsigned(b) == 0:
+            return MASK64
+        quotient = int(to_signed(a) / to_signed(to_unsigned(b)))
+        return to_unsigned(quotient)
+    if op is Op.REM:
+        if to_unsigned(b) == 0:
+            return a
+        sa, sb = to_signed(a), to_signed(to_unsigned(b))
+        return to_unsigned(sa - sb * int(sa / sb))
+    if op in (Op.AND, Op.ANDI):
+        return a & to_unsigned(b)
+    if op in (Op.OR, Op.ORI):
+        return a | to_unsigned(b)
+    if op in (Op.XOR, Op.XORI):
+        return a ^ to_unsigned(b)
+    if op in (Op.SLL, Op.SLLI):
+        return (a << (to_unsigned(b) & 63)) & MASK64
+    if op in (Op.SRL, Op.SRLI):
+        return a >> (to_unsigned(b) & 63)
+    if op in (Op.SRA, Op.SRAI):
+        return to_unsigned(to_signed(a) >> (to_unsigned(b) & 63))
+    if op in (Op.SLT, Op.SLTI):
+        return 1 if to_signed(a) < to_signed(to_unsigned(b)) else 0
+    if op is Op.SLTU:
+        return 1 if a < to_unsigned(b) else 0
+    if op is Op.MOVI:
+        return to_unsigned(b)
+    raise SimulatorInvariantError(f"alu_result called with non-ALU op {op}")
+
+
+def branch_taken(op: Op, a: int, b: int) -> bool:
+    """Condition outcome of a conditional branch."""
+    if op is Op.BEQ:
+        return a == b
+    if op is Op.BNE:
+        return a != b
+    if op is Op.BLT:
+        return to_signed(a) < to_signed(b)
+    if op is Op.BGE:
+        return to_signed(a) >= to_signed(b)
+    if op is Op.BLTU:
+        return a < b
+    if op is Op.BGEU:
+        return a >= b
+    raise SimulatorInvariantError(f"branch_taken called with non-branch op {op}")
+
+
+def effective_address(base: int, imm: int) -> int:
+    """Load/store/prefetch effective address (wraps at 64 bits)."""
+    return (base + imm) & MASK64
+
+
+def compute_value(inst, a: int = 0, b: int = 0) -> int:
+    """ALU result of ``inst`` given its register operand values.
+
+    ``a`` is rs1's value, ``b`` is rs2's value; immediate forms ignore
+    ``b`` and use the instruction's immediate.  This is the single entry
+    point all cores use, so immediate-vs-register selection cannot
+    diverge between models.
+    """
+    op = inst.op
+    if op is Op.MOVI:
+        return alu_result(op, 0, inst.imm)
+    if op.value.endswith("i"):
+        return alu_result(op, a, inst.imm)
+    return alu_result(op, a, b)

@@ -1,0 +1,30 @@
+"""Memory-system substrates: backing store, caches, MSHRs, DRAM, the
+assembled hierarchy, and a simple prefetcher.
+
+Timing model: *latency at issue*.  An access updates cache tag state
+immediately and returns the cycle at which its data is available, which
+folds in MSHR queueing and DRAM bandwidth.  This is the standard fast
+approximation for execution-driven simulators and preserves the shapes
+SST's evaluation depends on (miss costs, limited MLP, warm-cache reuse).
+"""
+
+from repro.memory.sparse_memory import SparseMemory
+from repro.memory.request import Access, AccessType
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.mshr import MSHRFile
+from repro.memory.dram import DRAMModel
+from repro.memory.prefetcher import NextLinePrefetcher, StridePrefetcher
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = [
+    "SparseMemory",
+    "Access",
+    "AccessType",
+    "Cache",
+    "CacheStats",
+    "MSHRFile",
+    "DRAMModel",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "MemoryHierarchy",
+]

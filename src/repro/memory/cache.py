@@ -1,0 +1,150 @@
+"""Set-associative tag store with true-LRU replacement.
+
+The cache models *tags only* — data always lives in the architectural
+:class:`~repro.memory.sparse_memory.SparseMemory`; what the timing model
+needs from a cache is hit/miss decisions, replacement behaviour, and
+dirty-line writeback counts.  Write policy is write-back,
+write-allocate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import CacheConfig
+from repro.errors import SimulatorInvariantError
+
+
+@dataclasses.dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    prefetch_fills: int = 0
+    # Hits on lines that were brought in by a prefetch and not yet
+    # touched by demand — "useful prefetches".
+    prefetch_hits: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of tags.  Addresses are byte addresses."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        # set index -> OrderedDict(tag -> line flags); LRU at the front.
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Address helpers.
+    # ------------------------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        """Line-aligned address (the unit all internal maps use)."""
+        return addr >> self._line_shift << self._line_shift
+
+    def _locate(self, line: int) -> Tuple[OrderedDict, int]:
+        set_index = (line >> self._line_shift) & self._set_mask
+        return self._sets[set_index], line
+
+    # ------------------------------------------------------------------
+    # Operations.
+    # ------------------------------------------------------------------
+
+    def lookup(self, addr: int, *, update_lru: bool = True,
+               count: bool = True) -> bool:
+        """Hit test; moves the line to MRU on hit when ``update_lru``."""
+        cache_set, line = self._locate(self.line_addr(addr))
+        hit = line in cache_set
+        if count:
+            self.stats.accesses += 1
+            if hit:
+                self.stats.hits += 1
+                flags = cache_set[line]
+                if flags.get("prefetched"):
+                    self.stats.prefetch_hits += 1
+                    flags["prefetched"] = False
+            else:
+                self.stats.misses += 1
+        if hit and update_lru:
+            cache_set.move_to_end(line)
+        return hit
+
+    def contains(self, addr: int) -> bool:
+        """Hit test with no side effects (no LRU update, no stats)."""
+        cache_set, line = self._locate(self.line_addr(addr))
+        return line in cache_set
+
+    def fill(self, addr: int, *, prefetched: bool = False) -> Optional[int]:
+        """Install a line; returns the evicted dirty line address (for a
+        writeback) or None.  Filling a present line refreshes LRU."""
+        cache_set, line = self._locate(self.line_addr(addr))
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return None
+        victim_writeback = None
+        if len(cache_set) >= self.config.assoc:
+            victim, flags = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if flags.get("dirty"):
+                self.stats.writebacks += 1
+                victim_writeback = victim
+        cache_set[line] = {"dirty": False, "prefetched": prefetched}
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return victim_writeback
+
+    def mark_dirty(self, addr: int) -> None:
+        cache_set, line = self._locate(self.line_addr(addr))
+        if line not in cache_set:
+            raise SimulatorInvariantError(
+                f"{self.name}: mark_dirty on absent line {line:#x}"
+            )
+        cache_set[line]["dirty"] = True
+
+    def invalidate(self, addr: int) -> None:
+        cache_set, line = self._locate(self.line_addr(addr))
+        cache_set.pop(line, None)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, invariants).
+    # ------------------------------------------------------------------
+
+    def resident_lines(self) -> List[int]:
+        return [line for cache_set in self._sets for line in cache_set]
+
+    def set_occupancy(self) -> Dict[int, int]:
+        return {index: len(s) for index, s in enumerate(self._sets) if s}
+
+    def check_invariants(self) -> None:
+        """Structural invariants; raises on violation (used by tests)."""
+        seen = set()
+        for index, cache_set in enumerate(self._sets):
+            if len(cache_set) > self.config.assoc:
+                raise SimulatorInvariantError(
+                    f"{self.name}: set {index} over-full"
+                )
+            for line in cache_set:
+                if line in seen:
+                    raise SimulatorInvariantError(
+                        f"{self.name}: line {line:#x} in two sets"
+                    )
+                seen.add(line)
+                expected = (line >> self._line_shift) & self._set_mask
+                if expected != index:
+                    raise SimulatorInvariantError(
+                        f"{self.name}: line {line:#x} in wrong set {index}"
+                    )

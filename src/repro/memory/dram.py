@@ -1,0 +1,38 @@
+"""Main-memory model: flat latency with a bandwidth ceiling.
+
+A token-bucket start-interval models channel bandwidth: two DRAM
+accesses cannot start closer together than ``min_interval`` cycles.
+Queueing that this creates under bursts is what turns "infinite MLP"
+into the sub-linear overlap real systems show.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import DRAMConfig
+
+
+@dataclasses.dataclass
+class DRAMStats:
+    accesses: int = 0
+    queue_cycles: int = 0  # total cycles requests waited for the channel
+    busy_until: int = 0
+
+
+class DRAMModel:
+    def __init__(self, config: DRAMConfig):
+        self.config = config
+        self.stats = DRAMStats()
+        self._next_start = 0
+
+    def access(self, cycle: int) -> int:
+        """Issue one line fetch at ``cycle``; returns data-ready cycle."""
+        start = max(cycle, self._next_start)
+        self.stats.accesses += 1
+        self.stats.queue_cycles += start - cycle
+        if self.config.min_interval:
+            self._next_start = start + self.config.min_interval
+        ready = start + self.config.latency
+        self.stats.busy_until = max(self.stats.busy_until, ready)
+        return ready

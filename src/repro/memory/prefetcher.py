@@ -1,0 +1,100 @@
+"""Hardware prefetchers attached to the L2.
+
+Two classical designs are provided as ablation points:
+
+* :class:`NextLinePrefetcher` — on a miss to line ``L``, prefetch
+  ``L+1 .. L+degree``.
+* :class:`StridePrefetcher` — a PC-indexed reference-prediction table;
+  when a PC's accesses show a stable stride, prefetch ahead by
+  ``degree`` strides.
+
+A prefetcher only *suggests* line addresses; the hierarchy issues them
+through the normal fill path so they consume DRAM bandwidth and compete
+for cache space — prefetching is not free, as the paper's scout-mode
+comparison depends on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import List
+
+from repro.config import PrefetcherConfig, PrefetcherKind
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass
+class PrefetchStats:
+    issued: int = 0
+
+
+class BasePrefetcher:
+    """Interface: observe misses, suggest line addresses."""
+
+    def __init__(self, config: PrefetcherConfig, line_bytes: int):
+        self.config = config
+        self.line_bytes = line_bytes
+        self.stats = PrefetchStats()
+
+    def on_miss(self, pc: int, addr: int) -> List[int]:
+        raise NotImplementedError
+
+
+class NullPrefetcher(BasePrefetcher):
+    def on_miss(self, pc: int, addr: int) -> List[int]:
+        return []
+
+
+class NextLinePrefetcher(BasePrefetcher):
+    def on_miss(self, pc: int, addr: int) -> List[int]:
+        line = addr - (addr % self.line_bytes)
+        targets = [
+            line + self.line_bytes * ahead
+            for ahead in range(1, self.config.degree + 1)
+        ]
+        self.stats.issued += len(targets)
+        return targets
+
+
+class StridePrefetcher(BasePrefetcher):
+    """Reference-prediction table keyed by instruction index (PC)."""
+
+    def __init__(self, config: PrefetcherConfig, line_bytes: int):
+        super().__init__(config, line_bytes)
+        # pc -> (last_addr, stride, confidence); LRU-evicted.
+        self._table: OrderedDict = OrderedDict()
+
+    def on_miss(self, pc: int, addr: int) -> List[int]:
+        entry = self._table.pop(pc, None)
+        targets: List[int] = []
+        if entry is None:
+            self._table[pc] = (addr, 0, 0)
+        else:
+            last_addr, stride, confidence = entry
+            new_stride = addr - last_addr
+            if new_stride == stride and stride != 0:
+                confidence = min(confidence + 1, 3)
+            else:
+                confidence = 0
+            self._table[pc] = (addr, new_stride, confidence)
+            if confidence >= 1 and new_stride != 0:
+                targets = [
+                    addr + new_stride * ahead
+                    for ahead in range(1, self.config.degree + 1)
+                    if addr + new_stride * ahead >= 0
+                ]
+        while len(self._table) > self.config.table_entries:
+            self._table.popitem(last=False)
+        self.stats.issued += len(targets)
+        return targets
+
+
+def make_prefetcher(config: PrefetcherConfig, line_bytes: int) -> BasePrefetcher:
+    if config.kind is PrefetcherKind.NONE:
+        return NullPrefetcher(config, line_bytes)
+    if config.kind is PrefetcherKind.NEXT_LINE:
+        return NextLinePrefetcher(config, line_bytes)
+    if config.kind is PrefetcherKind.STRIDE:
+        return StridePrefetcher(config, line_bytes)
+    raise ConfigError(f"unknown prefetcher kind {config.kind}")

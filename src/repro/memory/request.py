@@ -1,0 +1,60 @@
+"""Access descriptors and results exchanged between cores and the
+memory hierarchy."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class AccessType(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    IFETCH = "ifetch"
+    PREFETCH = "prefetch"
+
+
+class HitLevel(enum.Enum):
+    """Where an access was satisfied."""
+
+    L1 = "l1"
+    L2 = "l2"
+    DRAM = "dram"
+    # Merged into an already-outstanding miss at that level's MSHR.
+    MERGE_L1 = "merge_l1"
+    MERGE_L2 = "merge_l2"
+
+
+@dataclasses.dataclass(frozen=True)
+class Access:
+    """One access as issued by a core."""
+
+    addr: int
+    cycle: int
+    type: AccessType
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessResult:
+    """Timing outcome of one access.
+
+    ``ready_cycle`` is when the data is available to dependents (for
+    stores: when the line is owned and the write is globally done).
+    ``tlb_miss`` marks an access whose translation walked the page
+    table first — a deferral trigger of its own in the SST core.
+    """
+
+    ready_cycle: int
+    level: HitLevel
+    tlb_miss: bool = False
+
+    @property
+    def l1_hit(self) -> bool:
+        return self.level is HitLevel.L1
+
+    @property
+    def went_to_dram(self) -> bool:
+        return self.level in (HitLevel.DRAM, HitLevel.MERGE_L2)
+
+    def latency(self, issue_cycle: int) -> int:
+        return self.ready_cycle - issue_cycle

@@ -1,0 +1,40 @@
+"""Energy, area, and chip-level throughput models.
+
+The abstract's actual claim is not raw speed — it is that SST makes
+*area- and power-efficient* cores for chip multiprocessors by
+eliminating "complex and power-inefficient structures such as register
+renaming logic, reorder buffers, memory disambiguation buffers, and
+large issue windows".  This package quantifies that claim:
+
+* :mod:`repro.power.energy` — event-based energy accounting on top of
+  the statistics every core already reports (rename/IQ/ROB events for
+  the OoO core, checkpoint/DQ/SB events for SST, cache/DRAM for all).
+* :mod:`repro.power.area` — structure-level core area estimates and
+  cores-per-die under a fixed budget.
+* :mod:`repro.power.cmp` — a bandwidth-capped chip throughput model:
+  many small cores win until shared DRAM bandwidth saturates.
+
+All constants are *relative* units calibrated to published
+rules-of-thumb (CAM and multi-ported RAM structures dominate), not
+absolute joules/mm² — consistent with the library's shape-reproduction
+goal.
+"""
+
+from repro.power.energy import (
+    EnergyBreakdown,
+    EnergyWeights,
+    estimate_energy,
+)
+from repro.power.area import AreaWeights, core_area, cores_per_die
+from repro.power.cmp import ChipPoint, chip_throughput
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyWeights",
+    "estimate_energy",
+    "AreaWeights",
+    "core_area",
+    "cores_per_die",
+    "ChipPoint",
+    "chip_throughput",
+]

@@ -1,0 +1,18 @@
+"""Simulation driving: build a machine from a config, run programs,
+verify against the golden model, sweep parameters, compare cores."""
+
+from repro.sim.machine import Machine, build_core, build_hierarchy
+from repro.sim.runner import simulate, verify_against_golden
+from repro.sim.compare import compare_machines, speedup_table
+from repro.sim.sweep import sweep
+
+__all__ = [
+    "Machine",
+    "build_core",
+    "build_hierarchy",
+    "simulate",
+    "verify_against_golden",
+    "compare_machines",
+    "speedup_table",
+    "sweep",
+]

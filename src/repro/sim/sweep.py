@@ -1,0 +1,46 @@
+"""Parameter sweeps: run one program family across a list of machine
+configs derived from a parameter axis (DQ size, checkpoint count, DRAM
+latency, ...), collecting (parameter value → result)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.baselines.core_base import CoreResult, DEFAULT_MAX_INSTRUCTIONS
+from repro.config import MachineConfig
+from repro.isa.program import Program
+from repro.sim.runner import simulate
+
+
+def sweep(program: Program,
+          axis: Iterable,
+          make_config: Callable[[object], MachineConfig], *,
+          verify: bool = False,
+          max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+          ) -> List[Tuple[object, CoreResult]]:
+    """Run ``program`` once per axis value.
+
+    ``make_config(value)`` builds the machine for each point, so the
+    sweep is explicit about exactly what varies.
+    """
+    results: List[Tuple[object, CoreResult]] = []
+    for value in axis:
+        config = make_config(value)
+        results.append(
+            (value, simulate(config, program, verify=verify,
+                             max_instructions=max_instructions))
+        )
+    return results
+
+
+def sweep_many(programs: Sequence[Program],
+               axis: Iterable,
+               make_config: Callable[[object], MachineConfig], *,
+               max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+               ) -> Dict[str, List[Tuple[object, CoreResult]]]:
+    """A sweep per program; returns program name → sweep results."""
+    return {
+        program.name: sweep(program, axis, make_config,
+                            max_instructions=max_instructions)
+        for program in programs
+    }

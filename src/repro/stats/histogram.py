@@ -1,0 +1,64 @@
+"""A small integer histogram used for occupancy distributions
+(deferred-queue depth, store-buffer depth, MLP)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, Tuple
+
+
+class Histogram:
+    """Counts of integer samples with summary statistics."""
+
+    def __init__(self, name: str = "histogram"):
+        self.name = name
+        self._counts: Counter = Counter()
+        self._total_weight = 0
+        self._weighted_sum = 0
+
+    def add(self, value: int, weight: int = 1) -> None:
+        self._counts[value] += weight
+        self._total_weight += weight
+        self._weighted_sum += value * weight
+
+    @property
+    def count(self) -> int:
+        return self._total_weight
+
+    @property
+    def mean(self) -> float:
+        if not self._total_weight:
+            return 0.0
+        return self._weighted_sum / self._total_weight
+
+    @property
+    def max(self) -> int:
+        return max(self._counts) if self._counts else 0
+
+    @property
+    def min(self) -> int:
+        return min(self._counts) if self._counts else 0
+
+    def percentile(self, fraction: float) -> int:
+        """Smallest value v with cumulative weight >= fraction*total."""
+        if not self._counts:
+            return 0
+        threshold = fraction * self._total_weight
+        running = 0
+        for value in sorted(self._counts):
+            running += self._counts[value]
+            if running >= threshold:
+                return value
+        return self.max
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Histogram({self.name}: n={self.count}, mean={self.mean:.2f}, "
+            f"p50={self.percentile(0.5)}, max={self.max})"
+        )

@@ -1,0 +1,40 @@
+"""Dynamic-trace tooling.
+
+The authors evaluated SST with trace-driven simulation of commercial
+workloads; this package provides the equivalent plumbing for this
+library's programs:
+
+* :mod:`repro.trace.recorder` — run a program functionally and record
+  its dynamic event stream (instructions, memory references, branch
+  outcomes), with a compact text serialisation.
+* :mod:`repro.trace.analysis` — trace-driven analyses that need no core
+  model: cache-geometry sweeps, working-set and reuse-distance
+  measurement, and branch-predictability scoring.
+
+Traces make memory-system questions ("would a 4-way 64 KiB L1 have
+helped?") answerable in milliseconds without re-running a core.
+"""
+
+from repro.trace.recorder import (
+    MemEvent,
+    BranchEvent,
+    Trace,
+    record_trace,
+)
+from repro.trace.analysis import (
+    cache_sweep,
+    predictability,
+    reuse_distances,
+    working_set,
+)
+
+__all__ = [
+    "MemEvent",
+    "BranchEvent",
+    "Trace",
+    "record_trace",
+    "cache_sweep",
+    "predictability",
+    "reuse_distances",
+    "working_set",
+]

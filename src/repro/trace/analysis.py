@@ -1,0 +1,96 @@
+"""Trace-driven analyses.
+
+These answer memory-system questions directly from a recorded trace,
+with no core model in the loop:
+
+* :func:`cache_sweep` — miss rate of the data stream across a list of
+  cache geometries (drives "would a bigger/more associative L1 help?").
+* :func:`working_set` — unique lines/pages touched (TLB/cache reach).
+* :func:`reuse_distances` — LRU stack distances of line references;
+  the classic single-pass characterisation from which the miss rate of
+  *any* fully-associative LRU size can be read off.
+* :func:`predictability` — accuracy of a direction predictor replayed
+  over the branch stream (scores workload branch difficulty without a
+  pipeline).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import BranchPredictorConfig, CacheConfig
+from repro.branch.predictors import make_direction_predictor
+from repro.memory.cache import Cache
+from repro.stats.histogram import Histogram
+from repro.trace.recorder import Trace
+
+
+def cache_sweep(trace: Trace,
+                configs: Sequence[CacheConfig]) -> List[Tuple[CacheConfig, float]]:
+    """Miss rate of the trace's data stream on each geometry."""
+    results = []
+    for config in configs:
+        cache = Cache(config, name="sweep")
+        for event in trace.mem_events:
+            if not cache.lookup(event.addr):
+                cache.fill(event.addr)
+        results.append((config, cache.stats.miss_rate))
+    return results
+
+
+def working_set(trace: Trace, line_bytes: int = 64,
+                page_bytes: int = 8192) -> Dict[str, int]:
+    """Footprint of the data stream: references, lines, pages, bytes."""
+    lines = set()
+    pages = set()
+    for event in trace.mem_events:
+        lines.add(event.addr // line_bytes)
+        pages.add(event.addr // page_bytes)
+    return {
+        "references": len(trace.mem_events),
+        "lines": len(lines),
+        "pages": len(pages),
+        "bytes": len(lines) * line_bytes,
+    }
+
+
+def reuse_distances(trace: Trace, line_bytes: int = 64) -> Histogram:
+    """LRU stack distance per line reference (-1 = cold miss).
+
+    The histogram's CDF at depth d is the hit rate of a d-line
+    fully-associative LRU cache on this trace.
+    """
+    histogram = Histogram("reuse_distance")
+    stack: OrderedDict = OrderedDict()
+    for event in trace.mem_events:
+        line = event.addr // line_bytes
+        if line in stack:
+            # Depth from the MRU end.
+            depth = 0
+            for candidate in reversed(stack):
+                if candidate == line:
+                    break
+                depth += 1
+            stack.move_to_end(line)
+            histogram.add(depth)
+        else:
+            stack[line] = True
+            histogram.add(-1)
+    return histogram
+
+
+def predictability(trace: Trace,
+                   config: BranchPredictorConfig = BranchPredictorConfig(),
+                   ) -> float:
+    """Accuracy of ``config``'s direction predictor on the trace."""
+    events = trace.branch_events
+    if not events:
+        return 1.0
+    predictor = make_direction_predictor(config)
+    correct = 0
+    for event in events:
+        if predictor.predict(event.pc) == event.taken:
+            correct += 1
+        predictor.update(event.pc, event.taken)
+    return correct / len(events)

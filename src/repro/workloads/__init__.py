@@ -1,0 +1,59 @@
+"""Synthetic workload generators.
+
+The paper evaluates SST on commercial benchmarks (OLTP, enterprise/web,
+database) plus SPEC-like codes.  Those traces are proprietary, so this
+package generates parameterised programs that reproduce the *regimes*
+the mechanisms respond to:
+
+==================  =============================  =======================
+generator           stands in for                  regime it creates
+==================  =============================  =======================
+pointer_chase       OLTP index/row chasing         dependent-miss chains,
+                                                   K independent chains =
+                                                   controllable MLP
+hash_join           DB hash join probe             independent random
+                                                   misses, high MLP
+btree_lookup        index/tree search              dependent loads + data-
+                                                   dependent branches
+store_stream        logging / web session state    store-buffer pressure
+array_stream        SPEC-fp streaming              sequential misses,
+                                                   prefetch-friendly
+branchy_reduce      SPEC-int control flow          unpredictable branches
+                                                   fed by missing loads
+matrix_multiply     dense compute kernel           cache-resident, ILP-
+                                                   bound (OoO-friendly)
+==================  =============================  =======================
+
+All generators are deterministic given ``seed``.
+"""
+
+from repro.workloads.pointer_chase import pointer_chase
+from repro.workloads.hash_join import hash_join
+from repro.workloads.btree import btree_lookup
+from repro.workloads.streaming import array_stream, store_stream
+from repro.workloads.branchy import branchy_reduce
+from repro.workloads.matrix import matrix_multiply
+from repro.workloads.scatter import scatter_update
+from repro.workloads.graph_bfs import graph_bfs
+from repro.workloads.suite import (
+    commercial_suite,
+    compute_suite,
+    full_suite,
+    WORKLOAD_FACTORIES,
+)
+
+__all__ = [
+    "pointer_chase",
+    "hash_join",
+    "btree_lookup",
+    "array_stream",
+    "store_stream",
+    "branchy_reduce",
+    "matrix_multiply",
+    "scatter_update",
+    "graph_bfs",
+    "commercial_suite",
+    "compute_suite",
+    "full_suite",
+    "WORKLOAD_FACTORIES",
+]

@@ -1,0 +1,27 @@
+"""Shared helpers for workload generators: heap layout and seeded
+pseudo-randomness (generation-time only — the generated programs are
+fully deterministic)."""
+
+from __future__ import annotations
+
+import random
+
+# Data heaps start here; instruction indices live in a separate address
+# space inside the hierarchy, so any 8-aligned region works.
+HEAP_BASE = 0x0010_0000
+# Where workloads store their final result so tests can assert on it.
+RESULT_ADDR = 0x0000_8000
+
+# LCG constants the generated code itself uses to produce pseudo-random
+# indices with plain MUL/ADD/AND instructions.
+LCG_MUL = 6364136223846793005
+LCG_ADD = 1442695040888963407
+
+
+def rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def check_pow2(value: int, what: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a power of two, got {value}")

@@ -1,0 +1,106 @@
+"""Breadth-first search over a CSR graph — the graph-analytics pattern.
+
+Per frontier vertex: two dependent loads into the CSR offsets, then a
+run of neighbour loads (independent of each other — MLP within a
+vertex), then a visited-bitmap load + conditional store per neighbour
+(data-dependent branch + speculative store).  It mixes every mechanism
+the SST core has: dependent chains, bursts of independent misses,
+NA-operand branches, and speculative stores.
+
+The program is the classic array-queue BFS::
+
+    queue[head..tail), visited[v], csr_offsets[v], csr_edges[e]
+
+and terminates when the queue drains (every vertex reachable from the
+root is enqueued exactly once, so termination is structural).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import HEAP_BASE, RESULT_ADDR, rng
+
+
+def graph_bfs(vertices: int = 512, avg_degree: int = 4, seed: int = 10,
+              name: str = "graph-bfs") -> Program:
+    """BFS from vertex 0 over a random connected digraph."""
+    if vertices < 2:
+        raise ValueError("vertices must be >= 2")
+    if avg_degree < 1:
+        raise ValueError("avg_degree must be >= 1")
+    random_state = rng(seed)
+
+    # Random graph, made connected by a random spanning chain.
+    adjacency = [[] for _ in range(vertices)]
+    order = list(range(1, vertices))
+    random_state.shuffle(order)
+    previous = 0
+    for vertex in order:
+        adjacency[previous].append(vertex)
+        previous = vertex
+    extra_edges = vertices * (avg_degree - 1)
+    for _ in range(max(extra_edges, 0)):
+        src = random_state.randrange(vertices)
+        dst = random_state.randrange(vertices)
+        adjacency[src].append(dst)
+
+    offsets = [0]
+    edges = []
+    for vertex in range(vertices):
+        edges.extend(adjacency[vertex])
+        offsets.append(len(edges))
+
+    offsets_base = HEAP_BASE
+    edges_base = offsets_base + 8 * (vertices + 1) + (1 << 16)
+    visited_base = edges_base + 8 * len(edges) + (1 << 16)
+    queue_base = visited_base + 8 * vertices + (1 << 16)
+
+    builder = ProgramBuilder(name)
+    builder.data_words(offsets_base, offsets)
+    builder.data_words(edges_base, edges)
+    builder.data_word(queue_base, 0)  # root in the queue
+    builder.data_word(visited_base, 1)  # root marked visited
+
+    # r1=head, r2=tail (element counts), r3=visit counter.
+    builder.movi(1, 0)
+    builder.movi(2, 1)
+    builder.movi(3, 1)
+    builder.movi(20, offsets_base)
+    builder.movi(21, edges_base)
+    builder.movi(22, visited_base)
+    builder.movi(23, queue_base)
+    builder.movi(24, 1)
+
+    builder.label("loop")
+    builder.bge(1, 2, "done")  # queue empty
+    builder.slli(4, 1, 3)
+    builder.add(4, 4, 23)
+    builder.ld(5, 4, 0)  # v = queue[head]
+    builder.addi(1, 1, 1)
+    builder.slli(6, 5, 3)
+    builder.add(6, 6, 20)
+    builder.ld(7, 6, 0)  # edge_begin = offsets[v]
+    builder.ld(8, 6, 8)  # edge_end   = offsets[v + 1]
+    builder.label("edges")
+    builder.bge(7, 8, "loop")
+    builder.slli(9, 7, 3)
+    builder.add(9, 9, 21)
+    builder.ld(10, 9, 0)  # w = edges[e]
+    builder.addi(7, 7, 1)
+    builder.slli(11, 10, 3)
+    builder.add(11, 11, 22)
+    builder.ld(12, 11, 0)  # visited[w]?
+    builder.bne(12, 0, "edges")
+    builder.st(24, 11, 0)  # visited[w] = 1
+    builder.slli(13, 2, 3)
+    builder.add(13, 13, 23)
+    builder.st(10, 13, 0)  # queue[tail] = w
+    builder.addi(2, 2, 1)
+    builder.addi(3, 3, 1)
+    builder.jal(0, "edges")
+    builder.label("done")
+    builder.movi(14, RESULT_ADDR)
+    builder.st(3, 14, 0)
+    builder.halt()
+    return builder.build()

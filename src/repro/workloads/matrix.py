@@ -1,0 +1,75 @@
+"""Dense matrix multiply — the compute-bound contrast point.
+
+Cache-resident, multiply-heavy, perfectly predictable branches: the
+regime where a big out-of-order window wins on raw ILP extraction and
+SST's speculation machinery mostly idles.  Keeping this workload in the
+suite is what makes the E2 comparison honest — the paper's claim is
+about *commercial* (miss-bound) codes, not a uniform win.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import HEAP_BASE, RESULT_ADDR, rng
+
+
+def matrix_multiply(n: int = 12, seed: int = 7,
+                    name: str = "compute-matmul") -> Program:
+    """C = A @ B for dense n×n 64-bit matrices (ijk order)."""
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    random_state = rng(seed)
+    builder = ProgramBuilder(name)
+    a_base = HEAP_BASE
+    b_base = a_base + 8 * n * n
+    c_base = b_base + 8 * n * n
+    for index in range(n * n):
+        builder.data_word(a_base + 8 * index, random_state.randrange(1 << 8))
+        builder.data_word(b_base + 8 * index, random_state.randrange(1 << 8))
+
+    row_bytes = 8 * n
+    builder.movi(1, 0)  # i (as byte offset of row: i*row_bytes)
+    builder.movi(15, n * row_bytes)  # i limit
+    builder.movi(16, row_bytes)
+    builder.movi(20, a_base)
+    builder.movi(21, b_base)
+    builder.movi(22, c_base)
+    builder.label("i_loop")
+    builder.movi(2, 0)  # j byte offset within a row
+    builder.label("j_loop")
+    builder.movi(4, 0)  # acc
+    builder.movi(3, 0)  # k byte offset within a row
+    builder.add(10, 20, 1)  # &A[i][0]
+    builder.add(11, 21, 2)  # &B[0][j]
+    builder.label("k_loop")
+    builder.add(12, 10, 3)
+    builder.ld(5, 12, 0)  # A[i][k]
+    builder.ld(6, 11, 0)  # B[k][j]
+    builder.mul(5, 5, 6)
+    builder.add(4, 4, 5)
+    builder.add(11, 11, 16)  # next row of B
+    builder.addi(3, 3, 8)
+    builder.blt(3, 16, "k_loop")
+    builder.add(13, 22, 1)
+    builder.add(13, 13, 2)
+    builder.st(4, 13, 0)  # C[i][j]
+    builder.addi(2, 2, 8)
+    builder.blt(2, 16, "j_loop")
+    builder.add(1, 1, 16)
+    builder.blt(1, 15, "i_loop")
+    # Checksum C into the result slot.
+    total = n * n
+    builder.movi(1, total)
+    builder.movi(2, c_base)
+    builder.movi(4, 0)
+    builder.label("sum")
+    builder.ld(5, 2, 0)
+    builder.add(4, 4, 5)
+    builder.addi(2, 2, 8)
+    builder.addi(1, 1, -1)
+    builder.bne(1, 0, "sum")
+    builder.movi(6, RESULT_ADDR)
+    builder.st(4, 6, 0)
+    builder.halt()
+    return builder.build()

@@ -1,0 +1,89 @@
+"""Scatter-update — miss-dependent store addresses.
+
+The update-heavy database pattern: look up a record pointer (a miss),
+store through it (so the store's *address* is NA during speculation),
+then read a hot shared region that the pointer occasionally aliases.
+
+This is the workload that separates the two memory-speculation
+policies (experiment E10):
+
+* conservative — every hot-region load younger than the unknown-address
+  store defers, serialising the loop on the pointer miss;
+* bypass-and-check — the loads speculate past the store and the rare
+  alias (controlled by ``alias_per_1024``) costs a memory-order
+  rollback.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import (
+    HEAP_BASE,
+    LCG_ADD,
+    LCG_MUL,
+    RESULT_ADDR,
+    check_pow2,
+    rng,
+)
+
+HOT_WORDS = 64  # the shared region updates occasionally alias
+
+
+def scatter_update(table_words: int = 1 << 14, updates: int = 1024,
+                   alias_per_1024: int = 8, seed: int = 9,
+                   name: str = "db-scatter") -> Program:
+    """Build the update loop.
+
+    ``alias_per_1024``: roughly how many pointers per 1024 land inside
+    the hot region (0 = never alias; bypass then never fails).
+    """
+    check_pow2(table_words, "table_words")
+    if not 0 <= alias_per_1024 <= 1024:
+        raise ValueError("alias_per_1024 must be in 0..1024")
+    random_state = rng(seed)
+    builder = ProgramBuilder(name)
+
+    hot_base = HEAP_BASE
+    table_base = HEAP_BASE + 8 * HOT_WORDS + (1 << 20)
+    target_base = table_base + 8 * table_words + (1 << 20)
+    for index in range(HOT_WORDS):
+        builder.data_word(hot_base + 8 * index,
+                          random_state.randrange(1, 1 << 16))
+    for index in range(table_words):
+        if random_state.randrange(1024) < alias_per_1024:
+            target = hot_base + 8 * random_state.randrange(HOT_WORDS)
+        else:
+            target = target_base + 8 * random_state.randrange(table_words)
+        builder.data_word(table_base + 8 * index, target)
+
+    builder.movi(1, updates)
+    builder.movi(2, table_base)
+    builder.movi(3, seed | 1)  # LCG state
+    builder.movi(4, LCG_MUL)
+    builder.movi(5, LCG_ADD)
+    builder.movi(6, table_words - 1)
+    builder.movi(7, 0)  # accumulator
+    builder.movi(14, hot_base)
+    builder.label("update")
+    builder.mul(3, 3, 4)
+    builder.add(3, 3, 5)
+    builder.srli(8, 3, 15)
+    builder.and_(8, 8, 6)
+    builder.slli(8, 8, 3)
+    builder.add(8, 8, 2)
+    builder.ld(9, 8, 0)  # record pointer (the triggering miss)
+    builder.st(3, 9, 0)  # store through it: NA address while missing
+    # Hot-region reads that may or may not sit behind that store.
+    builder.andi(10, 3, 8 * (HOT_WORDS - 2))
+    builder.add(10, 10, 14)
+    builder.ld(11, 10, 0)
+    builder.add(7, 7, 11)
+    builder.ld(12, 10, 8)
+    builder.add(7, 7, 12)
+    builder.addi(1, 1, -1)
+    builder.bne(1, 0, "update")
+    builder.movi(13, RESULT_ADDR)
+    builder.st(7, 13, 0)
+    builder.halt()
+    return builder.build()

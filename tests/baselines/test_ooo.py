@@ -1,0 +1,149 @@
+"""OoO core: window-limited overlap, disambiguation, redirects."""
+
+from repro.baselines.ooo import OoOCore
+from repro.config import OoOConfig
+from repro.isa.assembler import assemble
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.runner import verify_against_golden
+from tests.conftest import small_hierarchy_config
+
+
+def run(source_or_program, config=None, latency=200, mshr=16):
+    program = (assemble(source_or_program)
+               if isinstance(source_or_program, str) else source_or_program)
+    hierarchy = MemoryHierarchy(small_hierarchy_config(latency=latency,
+                                                       mshr=mshr))
+    core = OoOCore(program, hierarchy, config or OoOConfig())
+    result = core.run()
+    verify_against_golden(result, program)
+    return result
+
+
+INDEPENDENT_MISSES = """
+    movi r1, 0x100000
+    movi r2, 0x200000
+    movi r3, 0x300000
+    ld   r4, 0(r1)
+    ld   r5, 0(r2)
+    ld   r6, 0(r3)
+    add  r7, r4, r5
+    add  r7, r7, r6
+    halt
+"""
+
+
+def test_architectural_correctness(countdown_program):
+    result = run(countdown_program)
+    assert result.state.regs[2] == sum(range(1, 11))
+
+
+def test_independent_misses_overlap():
+    result = run(INDEPENDENT_MISSES, latency=200)
+    # Serial would be ~600; overlapped is a bit over one miss.
+    assert result.cycles < 400
+
+
+def test_dependent_misses_serialise(miss_chain_program):
+    result = run(miss_chain_program, latency=200)
+    assert result.cycles > 3 * 200
+
+
+def test_rob_size_bounds_overlap():
+    # Many independent miss pairs separated by filler: a small ROB
+    # cannot hold enough instructions to reach the next miss.
+    blocks = []
+    for index in range(8):
+        blocks.append(f"movi r1, {0x100000 + index * 0x10000}")
+        blocks.append("ld r2, 0(r1)")
+        blocks.append("add r3, r3, r2")  # use forces eventual wait
+        blocks.extend("addi r4, r4, 1" for _ in range(30))
+    source = "\n".join(blocks) + "\nhalt"
+    small = run(source, OoOConfig(rob_size=16, iq_size=16, lsq_size=16))
+    large = run(source, OoOConfig(rob_size=256, iq_size=64, lsq_size=64))
+    assert large.cycles < small.cycles * 0.7
+
+
+def test_conservative_loads_wait_for_store_addresses():
+    source = """
+        movi r1, 0x100000
+        movi r2, 0x200000
+        movi r3, 7
+        st   r3, 0(r1)
+        ld   r4, 0(r2)
+        halt
+    """
+    conservative = run(source, OoOConfig(perfect_disambiguation=False))
+    oracle = run(source, OoOConfig(perfect_disambiguation=True))
+    assert oracle.cycles <= conservative.cycles
+
+
+def test_store_to_load_forwarding():
+    result = run("""
+        movi r1, 0x100000
+        movi r2, 42
+        st   r2, 0(r1)
+        ld   r3, 0(r1)
+        addi r4, r3, 1
+        halt
+    """, latency=300)
+    assert result.extra["ooo"].load_forwards >= 1
+    # Forwarding means the load does not pay the miss latency twice.
+    assert result.state.regs[4] == 43
+
+
+def test_mispredicted_branches_stall_fetch():
+    source = """
+        movi r1, 200
+        movi r3, 12345
+        movi r4, 6364136223846793005
+        movi r5, 1442695040888963407
+        movi r6, 0
+    loop:
+        mul  r3, r3, r4
+        add  r3, r3, r5
+        srli r7, r3, 33
+        andi r7, r7, 1
+        beq  r7, r0, skip
+        addi r6, r6, 1
+    skip:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """
+    from repro.config import BranchPredictorConfig
+
+    cheap = run(source, OoOConfig(
+        predictor=BranchPredictorConfig(mispredict_penalty=0)))
+    costly = run(source, OoOConfig(
+        predictor=BranchPredictorConfig(mispredict_penalty=20)))
+    assert costly.cycles > cheap.cycles
+
+
+def test_membar_orders_memory():
+    result = run("""
+        movi r1, 0x100000
+        ld   r2, 0(r1)
+        membar
+        ld   r3, 8(r1)
+        halt
+    """)
+    assert result.cycles > 200  # second load waited for the first
+
+
+def test_wide_beats_narrow_on_ilp():
+    source = "\n".join(
+        f"movi r{1 + i % 8}, {i}" for i in range(64)
+    ) + "\nhalt"
+    narrow = run(source, OoOConfig(fetch_width=1, issue_width=1,
+                                   commit_width=1, rob_size=32,
+                                   iq_size=16, lsq_size=16))
+    wide = run(source, OoOConfig(fetch_width=4, issue_width=4,
+                                 commit_width=4, rob_size=32,
+                                 iq_size=16, lsq_size=16))
+    assert wide.cycles < narrow.cycles
+
+
+def test_stats_exposed(countdown_program):
+    result = run(countdown_program)
+    assert result.extra["ooo"].dispatched == result.instructions - 1
+    assert "rob" in result.extra

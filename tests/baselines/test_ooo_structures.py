@@ -1,0 +1,68 @@
+"""OoO structural primitives: bandwidth, issue ports, occupancy windows."""
+
+import pytest
+
+from repro.baselines.ooo.structures import (
+    BandwidthAllocator,
+    IssuePortAllocator,
+    OccupancyWindow,
+)
+
+
+def test_bandwidth_allocator_packs_cycles():
+    alloc = BandwidthAllocator(2)
+    assert [alloc.claim(0) for _ in range(4)] == [0, 0, 1, 1]
+
+
+def test_bandwidth_allocator_respects_earliest():
+    alloc = BandwidthAllocator(2)
+    alloc.claim(0)
+    assert alloc.claim(10) == 10
+    assert alloc.peek(5) == 10
+
+
+def test_bandwidth_allocator_validates():
+    with pytest.raises(ValueError):
+        BandwidthAllocator(0)
+
+
+def test_issue_port_allows_earlier_claims_after_late_ones():
+    """The out-of-order property the monotonic allocator lacks."""
+    alloc = IssuePortAllocator(1)
+    assert alloc.claim(300) == 300  # an old dependent issues late
+    assert alloc.claim(5) == 5  # a younger independent one still at 5
+
+
+def test_issue_port_bandwidth_per_cycle():
+    alloc = IssuePortAllocator(2)
+    assert [alloc.claim(7) for _ in range(5)] == [7, 7, 8, 8, 9]
+
+
+def test_occupancy_window_blocks_when_full():
+    window = OccupancyWindow(2)
+    assert window.allocate(0) == 0
+    window.retire(100)
+    assert window.allocate(1) == 1
+    window.retire(200)
+    # Third allocation must wait for the first release (cycle 100).
+    assert window.allocate(2) == 100
+    assert window.full_stalls == 1
+    assert window.stall_cycles == 98
+
+
+def test_occupancy_window_free_when_oldest_released():
+    window = OccupancyWindow(1)
+    window.allocate(0)
+    window.retire(10)
+    assert window.allocate(50) == 50  # oldest already released by 50
+
+
+def test_occupancy_window_validates():
+    with pytest.raises(ValueError):
+        OccupancyWindow(0)
+
+
+def test_occupancy_stats_dict():
+    window = OccupancyWindow(1, "rob")
+    stats = window.occupancy_stats()
+    assert stats == {"full_stalls": 0, "stall_cycles": 0}

@@ -1,0 +1,80 @@
+"""Shared-L1 thread contexts (the SMT-on-one-core model) and the
+resumable-core quantum invariance it relies on."""
+
+import pytest
+
+from repro.cmp import Multicore, build_shared_hierarchies
+from repro.config import SSTConfig
+from repro.core import SSTCore
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.runner import verify_against_golden
+from repro.workloads import hash_join
+from tests.conftest import small_hierarchy_config
+
+
+def test_share_l1_aliases_everything():
+    hierarchies = build_shared_hierarchies(
+        small_hierarchy_config(), 2, share_l1=True
+    )
+    first, second = hierarchies
+    assert second.l1d is first.l1d
+    assert second.l1i is first.l1i
+    assert second.l1d_mshr is first.l1d_mshr
+    assert second.l2 is first.l2
+    # Displacement still distinguishes the threads' private data.
+    assert first.addr_offset != second.addr_offset
+
+
+def test_two_threads_share_cache_capacity():
+    """Threads contending for one L1 run slower than cores with
+    private L1s, everything else equal."""
+    programs = [
+        hash_join(table_words=1 << 11, probes=96, seed=seed,
+                  name=f"hj-{seed}")
+        for seed in range(2)
+    ]
+    config = [SSTConfig(width=1, checkpoints=0)] * 2
+    private = Multicore(small_hierarchy_config(), config, programs).run()
+    shared = Multicore(small_hierarchy_config(), config, programs,
+                       share_l1=True).run()
+    assert shared.aggregate_ipc <= private.aggregate_ipc * 1.01
+    for result, program in zip(shared.per_core, programs):
+        verify_against_golden(result, program)
+
+
+def test_advance_quantum_invariance():
+    """A single core's final cycle count must not depend on how its
+    execution is chopped into quanta (the multicore model's soundness
+    condition)."""
+    program = hash_join(table_words=1 << 11, probes=96)
+    reference = None
+    for quantum in (17, 100, 999, 10**9):
+        hierarchy = MemoryHierarchy(small_hierarchy_config())
+        core = SSTCore(program, hierarchy, SSTConfig())
+        while not core.advance(core.cycle + quantum):
+            pass
+        result = core.finalize()
+        verify_against_golden(result, program)
+        if reference is None:
+            reference = result.cycles
+        assert result.cycles == reference, quantum
+
+
+def test_finalize_before_halt_rejected():
+    program = hash_join(table_words=256, probes=8)
+    core = SSTCore(program, MemoryHierarchy(small_hierarchy_config()),
+                   SSTConfig())
+    from repro.errors import SimulatorInvariantError
+
+    with pytest.raises(SimulatorInvariantError, match="before HALT"):
+        core.finalize()
+
+
+def test_advance_after_halt_is_stable():
+    program = hash_join(table_words=256, probes=8)
+    core = SSTCore(program, MemoryHierarchy(small_hierarchy_config()),
+                   SSTConfig())
+    assert core.advance(None) is True
+    cycles = core.finalize().cycles
+    assert core.advance(10**9) is True  # idempotent
+    assert core.finalize().cycles == cycles

@@ -1,0 +1,79 @@
+"""Checkpoint file: ordering, capacity, epochs."""
+
+import pytest
+
+from repro.core.checkpoint import Checkpoint, CheckpointFile
+from repro.core.regstate import RegSnapshot
+from repro.errors import SimulatorInvariantError
+
+
+def snap():
+    return RegSnapshot(values=[0] * 32, na_producer={})
+
+
+def ckpt(seq, pc=0):
+    return Checkpoint(start_seq=seq, pc=pc, regs=snap(), taken_cycle=0)
+
+
+def test_capacity_and_has_free():
+    file = CheckpointFile(2)
+    assert file.has_free
+    file.take(ckpt(1))
+    file.take(ckpt(5))
+    assert not file.has_free
+    with pytest.raises(SimulatorInvariantError):
+        file.take(ckpt(9))
+    assert file.stats.denied_full == 1
+
+
+def test_in_order_enforced():
+    file = CheckpointFile(3)
+    file.take(ckpt(5))
+    with pytest.raises(SimulatorInvariantError):
+        file.take(ckpt(3))
+
+
+def test_oldest_and_release():
+    file = CheckpointFile(3)
+    file.take(ckpt(1))
+    file.take(ckpt(5))
+    assert file.oldest().start_seq == 1
+    released = file.release_oldest()
+    assert released.start_seq == 1
+    assert file.oldest().start_seq == 5
+
+
+def test_oldest_empty_raises():
+    with pytest.raises(SimulatorInvariantError):
+        CheckpointFile(1).oldest()
+    with pytest.raises(SimulatorInvariantError):
+        CheckpointFile(1).release_oldest()
+
+
+def test_boundary_above():
+    file = CheckpointFile(3)
+    file.take(ckpt(1))
+    file.take(ckpt(10))
+    file.take(ckpt(20))
+    assert file.boundary_above(5).start_seq == 10
+    assert file.boundary_above(15).start_seq == 20
+    assert file.boundary_above(25) is None
+    # The oldest checkpoint never acts as a boundary.
+    assert file.boundary_above(0).start_seq == 10
+
+
+def test_boundary_stats():
+    file = CheckpointFile(2)
+    file.take(ckpt(1))
+    file.take(ckpt(2), boundary=True)
+    assert file.stats.taken == 2
+    assert file.stats.boundary_taken == 1
+    assert file.stats.peak_live == 2
+
+
+def test_clear():
+    file = CheckpointFile(2)
+    file.take(ckpt(1))
+    file.clear()
+    assert len(file) == 0
+    assert not file

@@ -1,0 +1,81 @@
+"""Deferred queue: ordering, capacity, captured dataflow."""
+
+import pytest
+
+from repro.core.deferred_queue import DeferredQueue, DQEntry
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+def entry(seq, **kwargs):
+    return DQEntry(seq=seq, pc=0,
+                   inst=Instruction(Op.ADD, rd=1, rs1=2, rs2=3), **kwargs)
+
+
+def test_fifo_order():
+    queue = DeferredQueue(4)
+    queue.append(entry(1))
+    queue.append(entry(2))
+    assert queue.head().seq == 1
+    assert queue.pop_head().seq == 1
+    assert queue.head().seq == 2
+
+
+def test_capacity_rejection_without_mutation():
+    queue = DeferredQueue(1)
+    assert queue.append(entry(1)) is True
+    assert queue.append(entry(2)) is False
+    assert len(queue) == 1
+    assert queue.stats.rejected_full == 1
+
+
+def test_seq_order_enforced():
+    queue = DeferredQueue(4)
+    queue.append(entry(5))
+    with pytest.raises(ValueError):
+        queue.append(entry(5))
+    with pytest.raises(ValueError):
+        queue.append(entry(3))
+
+
+def test_all_below():
+    queue = DeferredQueue(4)
+    assert queue.all_below(0) is True
+    queue.append(entry(3))
+    queue.append(entry(7))
+    assert queue.all_below(8) is True
+    assert queue.all_below(7) is False
+
+
+def test_producers_iteration():
+    mixed = entry(1, rs1_producer=10, rs2_value=5)
+    assert list(mixed.producers()) == [10]
+    both = entry(2, rs1_producer=10, rs2_producer=11)
+    assert list(both.producers()) == [10, 11]
+    none = entry(3, rs1_value=1, rs2_value=2)
+    assert list(none.producers()) == []
+
+
+def test_occupancy_histogram_sampled_on_append():
+    queue = DeferredQueue(8)
+    for seq in range(1, 4):
+        queue.append(entry(seq))
+    assert queue.occupancy.count == 3
+    assert queue.occupancy.max == 3
+
+
+def test_clear_and_bool():
+    queue = DeferredQueue(2)
+    assert not queue
+    queue.append(entry(1))
+    assert queue
+    queue.clear()
+    assert not queue and queue.head() is None
+
+
+def test_stats_replayed():
+    queue = DeferredQueue(2)
+    queue.append(entry(1))
+    queue.pop_head()
+    assert queue.stats.deferred == 1
+    assert queue.stats.replayed == 1

@@ -1,0 +1,69 @@
+"""Global accounting invariants of the SST core, checked across
+workloads that exercise commits, rollbacks and scout sessions."""
+
+import pytest
+
+from repro.config import SSTConfig
+from repro.core import SSTCore
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.runner import verify_against_golden
+from repro.workloads import (
+    branchy_reduce,
+    btree_lookup,
+    graph_bfs,
+    hash_join,
+    scatter_update,
+    store_stream,
+)
+from tests.conftest import small_hierarchy_config
+
+WORKLOADS = [
+    hash_join(table_words=1 << 11, probes=128),
+    branchy_reduce(iterations=160, data_words=1 << 10),
+    btree_lookup(array_words=1 << 10, lookups=32),
+    store_stream(records=64, payload_words=6, table_words=1 << 10),
+    scatter_update(table_words=1 << 10, updates=96, alias_per_1024=64),
+    graph_bfs(vertices=128, avg_degree=3),
+]
+
+CONFIGS = [
+    SSTConfig(),
+    SSTConfig(checkpoints=1),
+    SSTConfig(checkpoints=4, dq_size=8, sb_size=4),
+    SSTConfig(bypass_unresolved_stores=False),
+]
+
+
+@pytest.mark.parametrize("program", WORKLOADS, ids=lambda p: p.name)
+@pytest.mark.parametrize("config", CONFIGS,
+                         ids=lambda c: f"{c.mode_name}-dq{c.dq_size}")
+def test_every_speculative_instruction_is_accounted(program, config):
+    """ahead issues == committed speculative + discarded: nothing is
+    silently dropped or double-counted across commits and rollbacks."""
+    hierarchy = MemoryHierarchy(small_hierarchy_config())
+    core = SSTCore(program, hierarchy, config)
+    result = core.run()
+    verify_against_golden(result, program)
+    stats = result.extra["sst"]
+    assert stats.ahead_insts == (
+        stats.committed_spec_insts + stats.discarded_insts
+    )
+    # Committed instruction total is normal + committed speculative.
+    assert result.instructions == (
+        stats.normal_insts + stats.committed_spec_insts
+    )
+    # Mode cycles partition the run exactly.
+    assert sum(stats.mode_cycles.values()) == result.cycles
+    # Replays never exceed deferrals plus re-execution after rollbacks.
+    assert stats.replay_insts <= stats.ahead_insts
+
+
+@pytest.mark.parametrize("program", WORKLOADS[:3], ids=lambda p: p.name)
+def test_committed_count_matches_interpreter(program):
+    from repro.isa.interpreter import Interpreter
+
+    golden = Interpreter(program, max_steps=5_000_000)
+    golden.run()
+    hierarchy = MemoryHierarchy(small_hierarchy_config())
+    result = SSTCore(program, hierarchy, SSTConfig()).run()
+    assert result.instructions == golden.stats.instructions

@@ -1,0 +1,124 @@
+"""Golden-model interpreter semantics."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import ArchState, Interpreter, run_program
+
+
+def test_arithmetic_loop(countdown_program):
+    state = run_program(countdown_program)
+    assert state.regs[2] == sum(range(1, 11))
+    assert state.regs[1] == 0
+
+
+def test_zero_register_ignores_writes():
+    state = run_program(assemble("""
+        movi r0, 99
+        addi r1, r0, 1
+        halt
+    """))
+    assert state.regs[0] == 0
+    assert state.regs[1] == 1
+
+
+def test_loads_and_stores():
+    state = run_program(assemble("""
+        .data 0x100: 41
+        movi r1, 0x100
+        ld   r2, 0(r1)
+        addi r2, r2, 1
+        st   r2, 8(r1)
+        halt
+    """))
+    assert state.memory.read(0x108) == 42
+
+
+def test_uninitialised_memory_reads_zero():
+    state = run_program(assemble("""
+        movi r1, 0x500
+        ld   r2, 0(r1)
+        halt
+    """))
+    assert state.regs[2] == 0
+
+
+def test_call_and_return():
+    state = run_program(assemble("""
+        movi r1, 5
+        jal  ra, double
+        addi r2, r1, 0
+        halt
+    double:
+        add  r1, r1, r1
+        jalr r0, ra, 0
+    """))
+    assert state.regs[2] == 10
+
+
+def test_misaligned_load_raises():
+    program = assemble("""
+        movi r1, 3
+        ld   r2, 0(r1)
+        halt
+    """)
+    with pytest.raises(ExecutionError, match="misaligned"):
+        run_program(program)
+
+
+def test_runaway_loop_raises():
+    program = assemble("""
+    forever:
+        jal r0, forever
+        halt
+    """)
+    with pytest.raises(ExecutionError, match="without HALT"):
+        run_program(program, max_steps=1000)
+
+
+def test_indirect_jump_out_of_range_raises():
+    program = assemble("""
+        movi r1, 4096
+        jalr r0, r1, 0
+        halt
+    """)
+    with pytest.raises(ExecutionError, match="outside program"):
+        run_program(program)
+
+
+def test_stats_collected(countdown_program):
+    interp = Interpreter(countdown_program)
+    interp.run()
+    stats = interp.stats
+    assert stats.instructions == 2 + 3 * 10 + 1
+    assert stats.branches == 10
+    assert stats.branches_taken == 9
+
+
+def test_step_after_halt_is_noop(countdown_program):
+    interp = Interpreter(countdown_program)
+    interp.run()
+    before = interp.stats.instructions
+    interp.step()
+    assert interp.stats.instructions == before
+
+
+def test_membar_prefetch_nop_have_no_arch_effect():
+    state = run_program(assemble("""
+        movi r1, 0x100
+        nop
+        membar
+        prefetch 0(r1)
+        halt
+    """))
+    assert state.regs[1] == 0x100
+    assert len(state.memory) == 0
+
+
+def test_same_architectural_state():
+    a = ArchState.fresh()
+    b = ArchState.fresh()
+    assert a.same_architectural_state(b)
+    a.write_reg(3, 7)
+    assert not a.same_architectural_state(b)

@@ -1,0 +1,83 @@
+"""Static classification of the ISA: every opcode has a class, the
+read/write sets are self-consistent."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    CONTROL_OPS,
+    Op,
+    OpClass,
+    READS_RS1,
+    READS_RS2,
+    WRITES_RD,
+)
+
+
+def test_every_opcode_is_classified():
+    for op in Op:
+        assert isinstance(op.op_class, OpClass)
+
+
+def test_mnemonic_roundtrip():
+    for op in Op:
+        assert Op.from_mnemonic(op.value) is op
+        assert Op.from_mnemonic(op.value.upper()) is op
+
+
+def test_unknown_mnemonic_raises():
+    with pytest.raises(KeyError):
+        Op.from_mnemonic("frobnicate")
+
+
+def test_loads_write_and_read_base():
+    assert Op.LD in WRITES_RD
+    assert Op.LD in READS_RS1
+    assert Op.LD not in READS_RS2
+
+
+def test_stores_read_both_and_write_nothing():
+    assert Op.ST not in WRITES_RD
+    assert Op.ST in READS_RS1
+    assert Op.ST in READS_RS2
+
+
+def test_movi_reads_no_registers():
+    assert Op.MOVI not in READS_RS1
+    assert Op.MOVI not in READS_RS2
+    assert Op.MOVI in WRITES_RD
+
+
+def test_branches_read_both_write_none():
+    for op in BRANCH_OPS:
+        assert op in READS_RS1
+        assert op in READS_RS2
+        assert op not in WRITES_RD
+
+
+def test_control_ops_cover_branches_and_jumps():
+    assert BRANCH_OPS < CONTROL_OPS
+    assert Op.JAL in CONTROL_OPS
+    assert Op.JALR in CONTROL_OPS
+    assert Op.NOP not in CONTROL_OPS
+
+
+def test_jumps_write_link_register():
+    assert Op.JAL in WRITES_RD
+    assert Op.JALR in WRITES_RD
+    assert Op.JALR in READS_RS1
+    assert Op.JAL not in READS_RS1
+
+
+def test_immediate_alu_ops_read_rs1_only():
+    for op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI, Op.SRLI,
+               Op.SRAI, Op.SLTI):
+        assert op in READS_RS1
+        assert op not in READS_RS2
+        assert op in WRITES_RD
+
+
+def test_mul_div_classes():
+    assert Op.MUL.op_class is OpClass.MUL
+    assert Op.DIV.op_class is OpClass.DIV
+    assert Op.REM.op_class is OpClass.DIV

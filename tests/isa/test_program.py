@@ -1,0 +1,63 @@
+"""Program container: validation, labels, disassembly."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.isa.assembler import assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import DataWord, Program
+
+
+def test_validate_rejects_empty():
+    with pytest.raises(ReproError, match="empty"):
+        Program([]).validate()
+
+
+def test_validate_rejects_out_of_range_target():
+    program = Program([
+        Instruction(Op.BEQ, rs1=0, rs2=0, target=99),
+        Instruction(Op.HALT),
+    ])
+    with pytest.raises(ReproError, match="targets 99"):
+        program.validate()
+
+
+def test_validate_requires_halt():
+    program = Program([Instruction(Op.NOP)])
+    with pytest.raises(ReproError, match="no HALT"):
+        program.validate()
+
+
+def test_misaligned_data_word_rejected():
+    with pytest.raises(ReproError, match="misaligned"):
+        DataWord(addr=0x101, value=1)
+
+
+def test_label_of():
+    program = assemble("""
+    begin:
+        nop
+    done:
+        halt
+    """)
+    assert program.label_of(0) == "begin"
+    assert program.label_of(1) == "done"
+    assert program.label_of(99) is None
+
+
+def test_disassemble_contains_labels_and_indices():
+    program = assemble("""
+    top:
+        addi r1, r1, 1
+        bne  r1, r2, top
+        halt
+    """)
+    listing = program.disassemble()
+    assert "top:" in listing
+    assert "addi r1, r1, 1" in listing
+
+
+def test_iteration_and_indexing(countdown_program):
+    assert len(list(countdown_program)) == len(countdown_program)
+    assert countdown_program[0].op is Op.MOVI

@@ -1,0 +1,41 @@
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.registers import (
+    RA_REG,
+    REG_COUNT,
+    SP_REG,
+    ZERO_REG,
+    parse_reg,
+    reg_name,
+)
+
+
+def test_parse_numeric_registers():
+    for index in range(REG_COUNT):
+        assert parse_reg(f"r{index}") == index
+        assert parse_reg(f"R{index}") == index
+
+
+def test_aliases():
+    assert parse_reg("zero") == ZERO_REG
+    assert parse_reg("ra") == RA_REG
+    assert parse_reg("sp") == SP_REG
+
+
+@pytest.mark.parametrize("bad", ["r32", "r-1", "x5", "", "r", "r1x", "5"])
+def test_bad_registers_rejected(bad):
+    with pytest.raises(AssemblyError):
+        parse_reg(bad)
+
+
+def test_reg_name_roundtrip():
+    for index in range(REG_COUNT):
+        assert parse_reg(reg_name(index)) == index
+
+
+def test_reg_name_out_of_range():
+    with pytest.raises(ValueError):
+        reg_name(REG_COUNT)
+    with pytest.raises(ValueError):
+        reg_name(-1)

@@ -1,0 +1,41 @@
+"""DRAM latency + bandwidth token bucket."""
+
+from repro.config import DRAMConfig
+from repro.memory.dram import DRAMModel
+
+
+def test_flat_latency():
+    dram = DRAMModel(DRAMConfig(latency=300, min_interval=0))
+    assert dram.access(10) == 310
+
+
+def test_bandwidth_spacing():
+    dram = DRAMModel(DRAMConfig(latency=100, min_interval=4))
+    first = dram.access(0)
+    second = dram.access(0)  # same cycle: must queue 4
+    third = dram.access(0)
+    assert first == 100
+    assert second == 104
+    assert third == 108
+    assert dram.stats.queue_cycles == 4 + 8
+
+
+def test_spaced_requests_do_not_queue():
+    dram = DRAMModel(DRAMConfig(latency=100, min_interval=4))
+    dram.access(0)
+    assert dram.access(10) == 110
+    assert dram.stats.queue_cycles == 0
+
+
+def test_zero_interval_means_unlimited():
+    dram = DRAMModel(DRAMConfig(latency=100, min_interval=0))
+    for _ in range(5):
+        assert dram.access(0) == 100
+
+
+def test_access_count_and_busy():
+    dram = DRAMModel(DRAMConfig(latency=50, min_interval=1))
+    dram.access(0)
+    dram.access(0)
+    assert dram.stats.accesses == 2
+    assert dram.stats.busy_until == 51

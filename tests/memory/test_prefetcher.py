@@ -1,0 +1,67 @@
+"""Prefetcher suggestion logic."""
+
+from repro.config import PrefetcherConfig, PrefetcherKind
+from repro.memory.prefetcher import (
+    NextLinePrefetcher,
+    NullPrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+
+
+def test_null_suggests_nothing():
+    pf = NullPrefetcher(PrefetcherConfig(), 64)
+    assert pf.on_miss(0, 0x1000) == []
+
+
+def test_next_line_degree():
+    pf = NextLinePrefetcher(
+        PrefetcherConfig(kind=PrefetcherKind.NEXT_LINE, degree=2), 64
+    )
+    assert pf.on_miss(0, 0x1008) == [0x1040, 0x1080]
+    assert pf.stats.issued == 2
+
+
+def test_stride_learns_after_two_confirmations():
+    pf = StridePrefetcher(
+        PrefetcherConfig(kind=PrefetcherKind.STRIDE, degree=1), 64
+    )
+    assert pf.on_miss(5, 0x1000) == []  # first sighting
+    assert pf.on_miss(5, 0x1100) == []  # stride learned, not confirmed
+    assert pf.on_miss(5, 0x1200) == [0x1300]  # confirmed
+
+
+def test_stride_resets_on_change():
+    pf = StridePrefetcher(
+        PrefetcherConfig(kind=PrefetcherKind.STRIDE, degree=1), 64
+    )
+    pf.on_miss(5, 0x1000)
+    pf.on_miss(5, 0x1100)
+    pf.on_miss(5, 0x1200)
+    assert pf.on_miss(5, 0x5000) == []  # stride broke
+
+
+def test_stride_table_evicts_lru():
+    pf = StridePrefetcher(
+        PrefetcherConfig(kind=PrefetcherKind.STRIDE, degree=1,
+                         table_entries=2), 64
+    )
+    for pc in range(4):
+        pf.on_miss(pc, 0x1000)
+    # Oldest PCs evicted; re-observing them restarts learning.
+    assert pf.on_miss(0, 0x2000) == []
+
+
+def test_factory_dispatch():
+    assert isinstance(
+        make_prefetcher(PrefetcherConfig(kind=PrefetcherKind.NONE), 64),
+        NullPrefetcher,
+    )
+    assert isinstance(
+        make_prefetcher(PrefetcherConfig(kind=PrefetcherKind.NEXT_LINE), 64),
+        NextLinePrefetcher,
+    )
+    assert isinstance(
+        make_prefetcher(PrefetcherConfig(kind=PrefetcherKind.STRIDE), 64),
+        StridePrefetcher,
+    )

@@ -1,0 +1,126 @@
+"""Data TLB model and its hierarchy integration."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    DRAMConfig,
+    HierarchyConfig,
+    TLBConfig,
+)
+from repro.errors import ConfigError
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.tlb import TLB
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        TLBConfig(entries=0)
+    with pytest.raises(ConfigError):
+        TLBConfig(page_bytes=100)
+    with pytest.raises(ConfigError):
+        TLBConfig(walk_latency=0)
+
+
+def test_hit_after_install():
+    tlb = TLB(TLBConfig(entries=4, page_bytes=4096))
+    assert not tlb.access(0x1000)
+    assert tlb.access(0x1008)  # same page
+    assert tlb.access(0x1FF8)
+    assert not tlb.access(0x2000)  # next page
+
+
+def test_lru_eviction():
+    tlb = TLB(TLBConfig(entries=2, page_bytes=4096))
+    tlb.access(0x0000)
+    tlb.access(0x1000)
+    tlb.access(0x0000)  # refresh page 0
+    tlb.access(0x2000)  # evicts page 1
+    assert tlb.contains(0x0000)
+    assert not tlb.contains(0x1000)
+    assert tlb.occupancy == 2
+
+
+def test_miss_rate():
+    tlb = TLB(TLBConfig(entries=8, page_bytes=4096))
+    tlb.access(0x0000)
+    tlb.access(0x0008)
+    assert tlb.stats.miss_rate == pytest.approx(0.5)
+
+
+def _hierarchy(tlb_config):
+    return MemoryHierarchy(HierarchyConfig(
+        l1d=CacheConfig(size_bytes=4 * 1024, assoc=2, hit_latency=2),
+        l1i=CacheConfig(size_bytes=4 * 1024, assoc=2, hit_latency=1),
+        l2=CacheConfig(size_bytes=32 * 1024, assoc=4, hit_latency=10),
+        dram=DRAMConfig(latency=100, min_interval=0),
+        tlb=tlb_config,
+    ))
+
+
+def test_hierarchy_charges_walk_latency():
+    walk = 50
+    with_tlb = _hierarchy(TLBConfig(entries=4, walk_latency=walk))
+    without = _hierarchy(None)
+    slow = with_tlb.data_access(0x10000, cycle=0)
+    fast = without.data_access(0x10000, cycle=0)
+    assert slow.tlb_miss
+    assert not fast.tlb_miss
+    assert slow.ready_cycle == fast.ready_cycle + walk
+
+
+def test_hierarchy_tlb_hit_costs_nothing():
+    hierarchy = _hierarchy(TLBConfig(entries=4, walk_latency=50))
+    hierarchy.data_access(0x10000, cycle=0)
+    again = hierarchy.data_access(0x10008, cycle=1000)
+    assert not again.tlb_miss
+    assert again.ready_cycle == 1002  # plain L1 hit
+
+
+def test_prefetch_warms_tlb():
+    hierarchy = _hierarchy(TLBConfig(entries=4, walk_latency=50))
+    hierarchy.prefetch(0x10000, cycle=0)
+    result = hierarchy.data_access(0x10008, cycle=1000)
+    assert not result.tlb_miss
+
+
+# A third load that hits the L1 but misses a 1-entry TLB: with
+# defer_on_tlb_miss it opens a third episode, without it only the two
+# cold DRAM misses do.
+_TLB_EPISODE_SOURCE = """
+    movi r1, 0x100000
+    movi r2, 0x200000
+    ld   r3, 0(r1)     ; episode 1: cold DRAM miss
+    membar             ; drain back to normal mode
+    ld   r4, 0(r2)     ; episode 2: cold miss, evicts r1's TLB entry
+    membar
+    ld   r5, 0(r1)     ; L1 hit, but the translation must walk again
+    addi r6, r5, 1
+    halt
+"""
+
+
+def _run_tlb_episodes(defer_on_tlb: bool) -> int:
+    from repro.config import DeferTrigger, SSTConfig
+    from repro.core import SSTCore
+    from repro.isa.assembler import assemble
+    from repro.sim.runner import verify_against_golden
+
+    program = assemble(_TLB_EPISODE_SOURCE)
+    hierarchy = _hierarchy(TLBConfig(entries=1, page_bytes=4096,
+                                     walk_latency=50))
+    core = SSTCore(program, hierarchy, SSTConfig(
+        defer_trigger=DeferTrigger.L2_MISS,
+        defer_on_tlb_miss=defer_on_tlb,
+    ))
+    result = core.run()
+    verify_against_golden(result, program)
+    return result.extra["sst"].episodes
+
+
+def test_sst_defers_on_tlb_miss_even_on_cache_hit():
+    assert _run_tlb_episodes(defer_on_tlb=True) == 3
+
+
+def test_defer_on_tlb_can_be_disabled():
+    assert _run_tlb_episodes(defer_on_tlb=False) == 2

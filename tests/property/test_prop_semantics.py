@@ -1,0 +1,77 @@
+"""Algebraic properties of the shared ALU/branch semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.opcodes import Op
+from repro.isa.semantics import (
+    MASK64,
+    alu_result,
+    branch_taken,
+    to_signed,
+    to_unsigned,
+)
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+@given(u64)
+def test_sign_conversion_roundtrips(value):
+    assert to_unsigned(to_signed(value)) == value
+
+
+@given(u64, u64)
+def test_add_matches_modular_arithmetic(a, b):
+    assert alu_result(Op.ADD, a, b) == (a + b) % (1 << 64)
+
+
+@given(u64, u64)
+def test_sub_is_inverse_of_add(a, b):
+    total = alu_result(Op.ADD, a, b)
+    assert alu_result(Op.SUB, total, b) == a
+
+
+@given(u64, u64)
+def test_xor_is_involution(a, b):
+    once = alu_result(Op.XOR, a, b)
+    assert alu_result(Op.XOR, once, b) == a
+
+
+@given(u64, u64)
+def test_div_rem_identity(a, b):
+    quotient = to_signed(alu_result(Op.DIV, a, b))
+    remainder = to_signed(alu_result(Op.REM, a, b))
+    if to_unsigned(b) == 0:
+        assert quotient == -1
+        assert to_unsigned(remainder) == a
+    else:
+        reconstructed = to_unsigned(quotient * to_signed(b) + remainder)
+        assert reconstructed == a
+
+
+@given(u64, st.integers(min_value=0, max_value=63))
+def test_shift_roundtrip_on_low_bits(a, amount):
+    shifted = alu_result(Op.SLL, a, amount)
+    back = alu_result(Op.SRL, shifted, amount)
+    kept = (a << amount & MASK64) >> amount
+    assert back == kept
+
+
+@given(u64, u64)
+def test_slt_matches_signed_compare(a, b):
+    assert alu_result(Op.SLT, a, b) == int(to_signed(a) < to_signed(b))
+
+
+@given(u64, u64)
+def test_branch_complements(a, b):
+    assert branch_taken(Op.BEQ, a, b) != branch_taken(Op.BNE, a, b)
+    assert branch_taken(Op.BLT, a, b) != branch_taken(Op.BGE, a, b)
+    assert branch_taken(Op.BLTU, a, b) != branch_taken(Op.BGEU, a, b)
+
+
+@given(u64, u64)
+def test_branch_trichotomy(a, b):
+    less = branch_taken(Op.BLT, a, b)
+    greater_equal = branch_taken(Op.BGE, a, b)
+    equal = branch_taken(Op.BEQ, a, b)
+    if equal:
+        assert greater_equal and not less

@@ -1,0 +1,86 @@
+"""Store-buffer forwarding vs. an obviously-correct list model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.store_buffer import StoreBuffer
+
+ADDRS = [0x100, 0x108, 0x110, 0x118]
+
+
+class ReferenceBuffer:
+    def __init__(self):
+        self.entries = []  # (seq, addr, value)
+
+    def append(self, seq, addr, value):
+        self.entries.append((seq, addr, value))
+
+    def forward(self, addr, before_seq):
+        best = None
+        for seq, entry_addr, value in self.entries:
+            if entry_addr == addr and seq < before_seq:
+                if best is None or seq > best[1]:
+                    best = (value, seq)
+        return best
+
+    def drain_below(self, seq):
+        drained = sorted(
+            [entry for entry in self.entries if entry[0] < seq]
+        )
+        self.entries = [entry for entry in self.entries if entry[0] >= seq]
+        return [(addr, value) for _, addr, value in drained]
+
+
+# Each op: (kind, addr_index, value); seqs assigned by position * 2 + 1
+# in shuffled order to exercise out-of-order insertion.
+ops = st.lists(
+    st.tuples(st.sampled_from(ADDRS), st.integers(0, 1000)),
+    min_size=1, max_size=30,
+)
+queries = st.lists(
+    st.tuples(st.sampled_from(ADDRS), st.integers(0, 70)),
+    min_size=1, max_size=30,
+)
+
+
+@settings(max_examples=80)
+@given(ops, queries, st.randoms(use_true_random=False))
+def test_forwarding_matches_reference(stores, lookups, rng):
+    sb = StoreBuffer(capacity=64)
+    reference = ReferenceBuffer()
+    indexed = list(enumerate(stores))
+    rng.shuffle(indexed)  # insert in scrambled seq order
+    for position, (addr, value) in indexed:
+        seq = position * 2 + 1
+        sb.append_unresolved(seq, addr)
+        sb.resolve(seq, addr, value)
+        reference.append(seq, addr, value)
+    for addr, before_seq in lookups:
+        got = sb.forward(addr, before_seq)
+        expected = reference.forward(addr, before_seq)
+        assert got == expected
+
+
+@settings(max_examples=60)
+@given(ops, st.integers(0, 70))
+def test_drain_below_matches_reference(stores, boundary):
+    sb = StoreBuffer(capacity=64)
+    reference = ReferenceBuffer()
+    for position, (addr, value) in enumerate(stores):
+        seq = position * 2 + 1
+        sb.append_resolved(seq, addr, value)
+        reference.append(seq, addr, value)
+    drained = [(e.addr, e.value) for e in sb.drain_below(boundary)]
+    assert drained == reference.drain_below(boundary)
+    assert len(sb) == len(reference.entries)
+
+
+@settings(max_examples=60)
+@given(ops)
+def test_capacity_never_exceeded(stores):
+    sb = StoreBuffer(capacity=4)
+    accepted = 0
+    for position, (addr, value) in enumerate(stores):
+        if sb.append_resolved(position + 1, addr, value):
+            accepted += 1
+        assert len(sb) <= 4
+    assert accepted == min(len(stores), 4)

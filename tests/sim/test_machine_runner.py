@@ -1,0 +1,70 @@
+"""Machine assembly, fresh-hierarchy isolation, golden verification."""
+
+import pytest
+
+from repro.baselines.inorder import InOrderCore
+from repro.baselines.ooo import OoOCore
+from repro.config import (
+    ea_machine,
+    inorder_machine,
+    ooo_machine,
+    sst_machine,
+)
+from repro.core import SSTCore
+from repro.errors import SimulatorInvariantError
+from repro.isa.assembler import assemble
+from repro.sim.machine import Machine, build_core, build_hierarchy
+from repro.sim.runner import simulate, verify_against_golden
+from tests.conftest import small_hierarchy_config
+
+
+def test_build_core_dispatch(countdown_program):
+    hierarchy = build_hierarchy(small_hierarchy_config())
+    assert isinstance(
+        build_core(inorder_machine(), countdown_program, hierarchy),
+        InOrderCore,
+    )
+    assert isinstance(
+        build_core(ooo_machine(), countdown_program, hierarchy), OoOCore
+    )
+    assert isinstance(
+        build_core(sst_machine(), countdown_program, hierarchy), SSTCore
+    )
+
+
+def test_machine_result_labelled(countdown_program):
+    result = Machine(sst_machine()).run(countdown_program)
+    assert result.core_name == "sst-2w-2ckpt"
+
+
+def test_runs_do_not_share_cache_state(miss_chain_program):
+    machine = Machine(inorder_machine(small_hierarchy_config()))
+    first = machine.run(miss_chain_program)
+    second = machine.run(miss_chain_program)
+    assert first.cycles == second.cycles  # second run starts cold again
+
+
+def test_simulate_verifies(countdown_program):
+    result = simulate(ea_machine(small_hierarchy_config()),
+                      countdown_program, verify=True)
+    assert result.instructions > 0
+
+
+def test_verify_catches_register_divergence(countdown_program):
+    result = simulate(inorder_machine(), countdown_program)
+    result.state.regs[2] += 1  # corrupt
+    with pytest.raises(SimulatorInvariantError, match="register state"):
+        verify_against_golden(result, countdown_program)
+
+
+def test_verify_catches_memory_divergence():
+    program = assemble("""
+        movi r1, 0x100
+        movi r2, 5
+        st   r2, 0(r1)
+        halt
+    """)
+    result = simulate(inorder_machine(), program)
+    result.state.memory.write(0x100, 6)
+    with pytest.raises(SimulatorInvariantError, match="memory state"):
+        verify_against_golden(result, program)

@@ -1,0 +1,48 @@
+from repro.stats.histogram import Histogram
+
+
+def test_empty_histogram():
+    histogram = Histogram()
+    assert histogram.count == 0
+    assert histogram.mean == 0.0
+    assert histogram.max == 0
+    assert histogram.percentile(0.5) == 0
+
+
+def test_mean_and_extremes():
+    histogram = Histogram()
+    for value in (1, 2, 3, 10):
+        histogram.add(value)
+    assert histogram.mean == 4.0
+    assert histogram.min == 1
+    assert histogram.max == 10
+
+
+def test_weights():
+    histogram = Histogram()
+    histogram.add(5, weight=3)
+    histogram.add(1, weight=1)
+    assert histogram.count == 4
+    assert histogram.mean == (15 + 1) / 4
+
+
+def test_percentiles():
+    histogram = Histogram()
+    for value in range(1, 101):
+        histogram.add(value)
+    assert histogram.percentile(0.5) == 50
+    assert histogram.percentile(0.99) == 99
+    assert histogram.percentile(1.0) == 100
+
+
+def test_items_sorted():
+    histogram = Histogram()
+    for value in (3, 1, 2, 1):
+        histogram.add(value)
+    assert list(histogram.items()) == [(1, 2), (2, 1), (3, 1)]
+
+
+def test_as_dict():
+    histogram = Histogram()
+    histogram.add(7, weight=2)
+    assert histogram.as_dict() == {7: 2}

@@ -1,0 +1,57 @@
+"""Repository-level hygiene: everything compiles, the public API is
+importable and complete, examples are syntactically sound."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def all_python_files():
+    files = []
+    for directory in ("src", "examples", "benchmarks"):
+        files.extend(sorted((REPO / directory).rglob("*.py")))
+    return files
+
+
+@pytest.mark.parametrize("path", all_python_files(),
+                         ids=lambda p: str(p.relative_to(REPO)))
+def test_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_public_api_exports_resolve():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_examples_have_main_guards():
+    for path in sorted((REPO / "examples").glob("*.py")):
+        text = path.read_text()
+        assert '__name__ == "__main__"' in text, path.name
+        assert "def main()" in text, path.name
+
+
+def test_every_experiment_has_a_bench_module():
+    """DESIGN.md's experiment index and benchmarks/ must agree."""
+    design = (REPO / "DESIGN.md").read_text()
+    bench_names = {
+        path.stem for path in (REPO / "benchmarks").glob("bench_e*.py")
+    }
+    for name in bench_names:
+        assert name + ".py" in design, f"{name} missing from DESIGN.md"
+    # And every experiment row in DESIGN.md points at a real file.
+    import re
+
+    for match in re.finditer(r"benchmarks/(bench_e\w+)\.py", design):
+        assert match.group(1) in bench_names, match.group(1)
+
+
+def test_docs_exist_and_are_substantial():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+        text = (REPO / name).read_text()
+        assert len(text) > 2000, name

@@ -1,0 +1,93 @@
+"""Trace-driven analyses."""
+
+import pytest
+
+from repro.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    PredictorKind,
+)
+from repro.trace import (
+    cache_sweep,
+    predictability,
+    record_trace,
+    reuse_distances,
+    working_set,
+)
+from repro.workloads import array_stream, branchy_reduce, hash_join
+
+
+@pytest.fixture(scope="module")
+def stream_trace():
+    return record_trace(array_stream(words=256))
+
+
+@pytest.fixture(scope="module")
+def random_trace():
+    return record_trace(hash_join(table_words=1 << 10, probes=256))
+
+
+def test_working_set_of_stream(stream_trace):
+    footprint = working_set(stream_trace, line_bytes=64)
+    # 256 sequential words = 2 KiB = 32 lines (+ the result word).
+    assert footprint["lines"] == 33
+    assert footprint["references"] == 257
+    assert footprint["pages"] <= 2
+
+
+def test_cache_sweep_monotone_in_size(random_trace):
+    configs = [
+        CacheConfig(size_bytes=size, assoc=4)
+        for size in (1024, 4096, 16384)
+    ]
+    rates = [rate for _, rate in cache_sweep(random_trace, configs)]
+    assert rates[0] >= rates[1] >= rates[2]
+    assert rates[0] > 0
+
+
+def test_stream_has_one_miss_per_line(stream_trace):
+    (_, rate), = cache_sweep(
+        stream_trace, [CacheConfig(size_bytes=1024, assoc=2)]
+    )
+    # Sequential stream: ~1 miss per 8 words.
+    assert rate == pytest.approx(33 / 257, abs=0.02)
+
+
+def test_reuse_distances_stream_is_cold(stream_trace):
+    histogram = reuse_distances(stream_trace)
+    # A pure stream never reuses a line except intra-line words at
+    # distance 0.
+    assert histogram.max <= 0
+
+
+def test_reuse_distance_cdf_matches_cache(random_trace):
+    """Stack-distance identity: hits at distance < N  ==  hits of an
+    N-line fully-associative LRU cache."""
+    capacity = 64
+    histogram = reuse_distances(random_trace)
+    expected_hits = sum(
+        count for distance, count in histogram.items()
+        if 0 <= distance < capacity
+    )
+    config = CacheConfig(size_bytes=capacity * 64, assoc=capacity)
+    (_, rate), = cache_sweep(random_trace, [config])
+    measured_hits = round((1 - rate) * len(random_trace.mem_events))
+    assert measured_hits == expected_hits
+
+
+def test_predictability_orders_workloads():
+    hard = record_trace(branchy_reduce(iterations=256, data_words=256,
+                                       biased=False))
+    easy = record_trace(branchy_reduce(iterations=256, data_words=256,
+                                       biased=True))
+    config = BranchPredictorConfig(kind=PredictorKind.GSHARE)
+    assert predictability(easy, config) > predictability(hard, config)
+
+
+def test_predictability_empty_trace():
+    trace = record_trace(array_stream(words=4))
+    no_branches = type(trace)(trace.program_name, trace.instructions, [
+        event for event in trace.events
+        if not hasattr(event, "taken")
+    ])
+    assert predictability(no_branches) == 1.0

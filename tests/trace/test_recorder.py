@@ -1,0 +1,69 @@
+"""Trace capture and serialisation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.isa.assembler import assemble
+from repro.trace import BranchEvent, MemEvent, Trace, record_trace
+
+
+@pytest.fixture
+def small_trace():
+    program = assemble("""
+        movi r1, 0x100
+        movi r2, 3
+    loop:
+        ld   r3, 0(r1)
+        st   r3, 8(r1)
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        halt
+    """, name="tiny")
+    return record_trace(program)
+
+
+def test_event_counts(small_trace):
+    assert len(small_trace.mem_events) == 6  # 3 loads + 3 stores
+    assert len(small_trace.branch_events) == 3
+    assert small_trace.instructions == 2 + 4 * 3 + 1
+
+
+def test_memory_event_contents(small_trace):
+    loads = [e for e in small_trace.mem_events if not e.is_store]
+    stores = [e for e in small_trace.mem_events if e.is_store]
+    assert all(e.addr == 0x100 for e in loads)
+    assert all(e.addr == 0x108 for e in stores)
+
+
+def test_branch_outcomes(small_trace):
+    outcomes = [e.taken for e in small_trace.branch_events]
+    assert outcomes == [True, True, False]
+
+
+def test_events_in_program_order(small_trace):
+    kinds = ["S" if isinstance(e, MemEvent) and e.is_store
+             else "L" if isinstance(e, MemEvent) else "B"
+             for e in small_trace.events]
+    assert kinds == ["L", "S", "B"] * 3
+
+
+def test_roundtrip(small_trace):
+    text = small_trace.dumps()
+    loaded = Trace.loads(text)
+    assert loaded.program_name == small_trace.program_name
+    assert loaded.instructions == small_trace.instructions
+    assert loaded.events == small_trace.events
+
+
+def test_load_rejects_garbage():
+    with pytest.raises(ReproError, match="malformed"):
+        Trace.loads("X 1 2\n")
+    with pytest.raises(ReproError, match="malformed"):
+        Trace.loads("L 1\n")
+
+
+def test_load_skips_comments_and_blanks():
+    trace = Trace.loads("# trace demo insts=5\n\nL 3 0x10\nB 4 1\n")
+    assert trace.program_name == "demo"
+    assert trace.instructions == 5
+    assert trace.events == [MemEvent(3, 0x10, False), BranchEvent(4, True)]
