@@ -8,7 +8,7 @@ clearly wins when aliases are rare, and its advantage shrinks (but the
 machine stays correct) as the alias rate rises.
 """
 
-from common import bench_hierarchy, run, save_table
+from common import bench_hierarchy, run, save_table, scaled
 from repro.config import SSTConfig, CoreKind, MachineConfig
 from repro.core import FailCause
 from repro.stats.report import Table
@@ -26,9 +26,9 @@ def _machine(bypass: bool) -> MachineConfig:
 
 def experiment():
     programs = [
-        scatter_update(table_words=1 << 14, updates=2000,
+        scatter_update(table_words=scaled(1 << 14), updates=scaled(2000),
                        alias_per_1024=0, name="db-scatter-clean"),
-        scatter_update(table_words=1 << 14, updates=2000,
+        scatter_update(table_words=scaled(1 << 14), updates=scaled(2000),
                        alias_per_1024=64, name="db-scatter-aliased"),
     ]
     table = Table(

@@ -10,7 +10,7 @@ and spending the area on more of them.
 
 import dataclasses
 
-from common import bench_hierarchy, run, save_table
+from common import bench_hierarchy, run, save_table, scaled
 from repro.config import inorder_machine, sst_machine
 from repro.stats.report import Table
 from repro.workloads import array_stream, hash_join
@@ -21,8 +21,8 @@ WIDTHS = (1, 2, 4)
 def experiment():
     hierarchy = bench_hierarchy()
     programs = [
-        array_stream(words=1 << 15),
-        hash_join(table_words=1 << 16, probes=3000),
+        array_stream(words=scaled(1 << 15)),
+        hash_join(table_words=scaled(1 << 16), probes=scaled(3000)),
     ]
     table = Table(
         "E11: SST IPC vs pipeline width (same-width in-order shown)",

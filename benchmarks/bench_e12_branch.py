@@ -7,7 +7,7 @@ unpredictable and the biased variants of the branchy workload.
 
 import dataclasses
 
-from common import bench_hierarchy, run, save_table
+from common import bench_hierarchy, run, save_table, scaled
 from repro.config import (
     BranchPredictorConfig,
     CoreKind,
@@ -34,8 +34,10 @@ def _machine(kind: PredictorKind) -> MachineConfig:
 
 def experiment():
     programs = [
-        branchy_reduce(iterations=4000, data_words=1 << 15, biased=False),
-        branchy_reduce(iterations=4000, data_words=1 << 15, biased=True,
+        branchy_reduce(iterations=scaled(4000), data_words=scaled(1 << 15),
+                       biased=False),
+        branchy_reduce(iterations=scaled(4000), data_words=scaled(1 << 15),
+                       biased=True,
                        name="int-branchy-biased"),
     ]
     table = Table(

@@ -7,11 +7,10 @@ energy over in-order — far less than rename/ROB/IQ/LSQ add to the OoO
 core — while its speed gives it the best ED² on miss-bound codes.
 """
 
-from common import bench_hierarchy, run, save_table
+from common import bench_commercial_suite, bench_hierarchy, run, save_table
 from repro.config import inorder_machine, ooo_machine, sst_machine
 from repro.power import estimate_energy
 from repro.stats.report import Table, geomean
-from repro.workloads import commercial_suite
 
 
 def experiment():
@@ -28,7 +27,7 @@ def experiment():
     )
     epi = {config.name: [] for config in configs}
     ed2_ratio = {config.name: [] for config in configs}
-    for program in commercial_suite("bench"):
+    for program in bench_commercial_suite():
         breakdowns = {}
         for config in configs:
             result = run(config, program)

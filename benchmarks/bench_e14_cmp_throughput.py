@@ -7,7 +7,7 @@ Expected: SST's small-area, high-per-thread cores give the best chip
 throughput on the commercial mix — the reason ROCK was built this way.
 """
 
-from common import bench_hierarchy, run, save_table
+from common import bench_commercial_suite, bench_hierarchy, run, save_table
 from repro.config import (
     InOrderConfig,
     OoOConfig,
@@ -18,7 +18,6 @@ from repro.config import (
 )
 from repro.power import chip_throughput, cores_per_die
 from repro.stats.report import Table, geomean
-from repro.workloads import commercial_suite
 
 DIE_BUDGET = 24.0  # relative units: ~24 scalar in-order cores
 CHIP_BW = 24.0  # bytes per cycle off-chip: fast cores can saturate it
@@ -39,7 +38,7 @@ def experiment():
          "BW-bound?", "chip IPC"],
     )
     chip_ipc = {name: [] for name, _, _ in points}
-    for program in commercial_suite("bench"):
+    for program in bench_commercial_suite():
         for name, machine, core_config in points:
             cores = cores_per_die(core_config, DIE_BUDGET)
             result = run(machine, program)

@@ -8,7 +8,7 @@ overlapped like cache misses; with it off they serialise.
 
 import dataclasses
 
-from common import bench_hierarchy, run, save_table
+from common import bench_hierarchy, run, save_table, scaled
 from repro.config import (
     CoreKind,
     MachineConfig,
@@ -40,7 +40,7 @@ def _sst(entries: int, defer_on_tlb: bool) -> MachineConfig:
 
 
 def experiment():
-    program = hash_join(table_words=1 << 16, probes=3000)
+    program = hash_join(table_words=scaled(1 << 16), probes=scaled(3000))
     table = Table(
         "E15: TLB reach and defer-on-TLB-miss (db-hashjoin)",
         ["tlb entries", "tlb miss rate", "inorder IPC",

@@ -7,7 +7,7 @@ enough to be worth hiding, and the two converge on DRAM-dominated
 codes.
 """
 
-from common import bench_hierarchy, run, save_table
+from common import bench_hierarchy, run, save_table, scaled
 from repro.config import CoreKind, DeferTrigger, MachineConfig, SSTConfig
 from repro.stats.report import Table
 from repro.workloads import array_stream, hash_join, matrix_multiply
@@ -24,11 +24,11 @@ def _machine(trigger: DeferTrigger) -> MachineConfig:
 
 def experiment():
     programs = [
-        hash_join(table_words=1 << 16, probes=3000),  # DRAM-dominated
-        hash_join(table_words=1 << 13, probes=3000,
+        hash_join(table_words=scaled(1 << 16), probes=scaled(3000)),  # DRAM-dominated
+        hash_join(table_words=scaled(1 << 13), probes=scaled(3000),
                   name="db-hashjoin-l2"),  # 64KB: misses L1, lives in L2
-        array_stream(words=1 << 15),
-        matrix_multiply(n=20),
+        array_stream(words=scaled(1 << 15)),
+        matrix_multiply(n=scaled(20, floor=8)),
     ]
     table = Table(
         "E16: defer trigger level (L1 miss vs DRAM-bound miss)",

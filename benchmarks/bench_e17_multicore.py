@@ -13,7 +13,7 @@ meets the channel — and visibly flatter when the channel is starved.
 This is the simulated ground truth for E14's analytic model.
 """
 
-from common import save_table
+from common import save_table, scaled
 from repro.cmp import Multicore
 from repro.config import (
     CacheConfig,
@@ -43,7 +43,7 @@ def _hierarchy(cores: int, interval: int) -> HierarchyConfig:
 
 def _programs(count: int):
     return [
-        hash_join(table_words=1 << 14, probes=600, seed=seed,
+        hash_join(table_words=scaled(1 << 14), probes=scaled(600), seed=seed,
                   name=f"db-hashjoin-{seed}")
         for seed in range(count)
     ]

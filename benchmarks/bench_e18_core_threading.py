@@ -15,7 +15,7 @@ thread is individually compute-bound.  This asymmetry is why using the
 second strand for SST, not just SMT, was worth silicon.
 """
 
-from common import bench_hierarchy, run, save_table
+from common import bench_hierarchy, run, save_table, scaled
 from repro.cmp import Multicore
 from repro.config import SSTConfig, sst_machine
 from repro.stats.report import Table
@@ -23,7 +23,7 @@ from repro.workloads import hash_join
 
 
 def _program(seed: int):
-    return hash_join(table_words=1 << 14, probes=800, seed=seed,
+    return hash_join(table_words=scaled(1 << 14), probes=scaled(800), seed=seed,
                      name=f"db-hashjoin-{seed}")
 
 

@@ -6,13 +6,18 @@ commercial workloads, ordered scout <= EA <= SST on the geomean, with
 the compute-bound contrast workloads showing little gain.
 """
 
-from common import bench_hierarchy, paper_machines, run_matrix, save_table
+from common import (
+    bench_full_suite,
+    bench_hierarchy,
+    paper_machines,
+    run_matrix,
+    save_table,
+)
 from repro.stats.report import Table, geomean
-from repro.workloads import full_suite
 
 
 def experiment():
-    programs = full_suite("bench")
+    programs = bench_full_suite()
     configs = paper_machines(bench_hierarchy())
     matrix = run_matrix(programs, configs)
     baseline_name = configs[0].name

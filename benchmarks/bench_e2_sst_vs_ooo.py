@@ -7,6 +7,8 @@ core beats even the 4-wide ROB-128 OoO core by tens of percent
 """
 
 from common import (
+    bench_commercial_suite,
+    bench_compute_suite,
     bench_hierarchy,
     ooo_comparators,
     run_matrix,
@@ -14,14 +16,13 @@ from common import (
 )
 from repro.config import sst_machine
 from repro.stats.report import Table, geomean
-from repro.workloads import commercial_suite, compute_suite
 
 
 def experiment():
     hierarchy = bench_hierarchy()
     configs = [sst_machine(hierarchy)] + ooo_comparators(hierarchy)
-    commercial = commercial_suite("bench")
-    compute = compute_suite("bench")
+    commercial = bench_commercial_suite()
+    compute = bench_compute_suite()
     matrix = run_matrix(commercial + compute, configs)
 
     table = Table(

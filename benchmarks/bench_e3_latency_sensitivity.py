@@ -5,7 +5,7 @@ linearly with latency while SST hides a growing fraction of it, so
 SST's speedup must *grow* with latency.
 """
 
-from common import bench_hierarchy, run, save_table
+from common import bench_hierarchy, run, save_table, scaled
 from repro.config import inorder_machine, sst_machine
 from repro.stats.report import Table
 from repro.workloads import hash_join, pointer_chase
@@ -15,8 +15,9 @@ LATENCIES = (100, 200, 400, 800)
 
 def experiment():
     programs = [
-        hash_join(table_words=1 << 16, probes=3000),
-        pointer_chase(chains=4, nodes_per_chain=2048, hops=2500),
+        hash_join(table_words=scaled(1 << 16), probes=scaled(3000)),
+        pointer_chase(chains=4, nodes_per_chain=scaled(2048),
+                      hops=scaled(2500)),
     ]
     table = Table(
         "E3: SST speedup over in-order vs DRAM latency",

@@ -8,7 +8,7 @@ then diminishing returns.
 
 import dataclasses
 
-from common import bench_hierarchy, run, save_table
+from common import bench_hierarchy, run, save_table, scaled
 from repro.config import SSTConfig, inorder_machine, sst_machine
 from repro.stats.report import Table
 from repro.workloads import hash_join
@@ -17,7 +17,7 @@ DQ_SIZES = (4, 8, 16, 32, 64, 128)
 
 
 def experiment():
-    program = hash_join(table_words=1 << 16, probes=3000)
+    program = hash_join(table_words=scaled(1 << 16), probes=scaled(3000))
     hierarchy = bench_hierarchy()
     base = run(inorder_machine(hierarchy), program)
     table = Table(

@@ -7,7 +7,7 @@ more epochs pipeline.  Expected: the 1 -> 2 step is the big one.
 
 import dataclasses
 
-from common import bench_hierarchy, run, save_table
+from common import bench_hierarchy, run, save_table, scaled
 from repro.config import inorder_machine, sst_machine
 from repro.stats.report import Table, geomean
 from repro.workloads import hash_join, pointer_chase, store_stream
@@ -18,9 +18,11 @@ CHECKPOINTS = (1, 2, 4, 8)
 def experiment():
     hierarchy = bench_hierarchy()
     programs = [
-        hash_join(table_words=1 << 16, probes=3000),
-        pointer_chase(chains=4, nodes_per_chain=2048, hops=2500),
-        store_stream(records=2000, payload_words=8, table_words=1 << 16),
+        hash_join(table_words=scaled(1 << 16), probes=scaled(3000)),
+        pointer_chase(chains=4, nodes_per_chain=scaled(2048),
+                      hops=scaled(2500)),
+        store_stream(records=scaled(2000), payload_words=8,
+                     table_words=scaled(1 << 16)),
     ]
     table = Table(
         "E5: speedup over in-order vs number of checkpoints",

@@ -5,13 +5,13 @@ accesses, misses merged into in-flight fills (the MLP signature), the
 SST core's peak outstanding deferred misses, and scout prefetches.
 """
 
-from common import bench_hierarchy, paper_machines, run, save_table
+from common import bench_hierarchy, paper_machines, run, save_table, scaled
 from repro.stats.report import Table
 from repro.workloads import hash_join
 
 
 def experiment():
-    program = hash_join(table_words=1 << 16, probes=3000)
+    program = hash_join(table_words=scaled(1 << 16), probes=scaled(3000))
     table = Table(
         "E6: MLP and prefetch coverage on db-hashjoin",
         ["machine", "cycles", "dram accesses", "merges",

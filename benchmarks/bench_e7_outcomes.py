@@ -6,11 +6,10 @@ mostly commit; branch-heavy codes fail more and pointer codes lean on
 scout when resources starve.
 """
 
-from common import bench_hierarchy, run, save_table
+from common import bench_full_suite, bench_hierarchy, run, save_table
 from repro.config import sst_machine
 from repro.core import FailCause
 from repro.stats.report import Table
-from repro.workloads import full_suite
 
 
 def experiment():
@@ -21,7 +20,7 @@ def experiment():
          "discarded insts"],
     )
     outcomes = {}
-    for program in full_suite("bench"):
+    for program in bench_full_suite():
         result = run(sst_machine(bench_hierarchy()), program)
         stats = result.extra["sst"]
         table.add_row(

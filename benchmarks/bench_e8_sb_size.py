@@ -7,7 +7,7 @@ climbs with SB depth until the burst fits, then flattens.
 
 import dataclasses
 
-from common import bench_hierarchy, run, save_table
+from common import bench_hierarchy, run, save_table, scaled
 from repro.config import inorder_machine, sst_machine
 from repro.stats.report import Table
 from repro.workloads import store_stream
@@ -16,8 +16,8 @@ SB_SIZES = (4, 8, 16, 32, 64)
 
 
 def experiment():
-    program = store_stream(records=2000, payload_words=8,
-                           table_words=1 << 16)
+    program = store_stream(records=scaled(2000), payload_words=8,
+                           table_words=scaled(1 << 16))
     hierarchy = bench_hierarchy()
     base = run(inorder_machine(hierarchy), program)
     table = Table(

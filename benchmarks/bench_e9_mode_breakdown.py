@@ -5,11 +5,10 @@ ones in NORMAL; resource-starved or chain-bound ones show SCOUT and
 REPLAY_ONLY time.
 """
 
-from common import bench_hierarchy, run, save_table
+from common import bench_full_suite, bench_hierarchy, run, save_table
 from repro.config import sst_machine
 from repro.core import ExecMode
 from repro.stats.report import Table
-from repro.workloads import full_suite
 
 MODES = [ExecMode.NORMAL, ExecMode.EXECUTE_AHEAD, ExecMode.SST,
          ExecMode.REPLAY_ONLY, ExecMode.SCOUT]
@@ -21,7 +20,7 @@ def experiment():
         ["workload"] + [mode.value for mode in MODES],
     )
     fractions = {}
-    for program in full_suite("bench"):
+    for program in bench_full_suite():
         result = run(sst_machine(bench_hierarchy()), program)
         mode_cycles = result.extra["sst"].mode_cycles
         total = max(sum(mode_cycles.values()), 1)

@@ -11,12 +11,26 @@ set) exercise the same regime the paper's commercial workloads did on
 multi-MB caches: frequent L2 misses with room for memory-level
 parallelism.  Absolute IPCs are therefore not comparable to silicon;
 relative orderings are the reproduction target.
+
+Environment knobs (all optional):
+
+* ``REPRO_JOBS`` — worker processes for matrix/suite runs (default 1).
+* ``REPRO_CACHE`` — set to ``0`` to disable the content-addressed
+  result cache under ``benchmarks/.simcache/`` (default on).
+* ``REPRO_CACHE_DIR`` — cache location override.
+* ``REPRO_BENCH_MAX_INSTRUCTIONS`` — per-run instruction budget
+  (runaway guard) override; default 50M.
+* ``REPRO_BENCH_SMOKE`` — set to ``1`` to shrink every workload by
+  :data:`SMOKE_DIVISOR` and use the tiny suite scale, so the full
+  18-experiment suite finishes in seconds (CI smoke mode; relative
+  orderings at this scale are indicative only).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.baselines.core_base import CoreResult
 from repro.config import (
@@ -31,12 +45,52 @@ from repro.config import (
     sst_machine,
 )
 from repro.isa.program import Program
-from repro.sim.runner import simulate
+from repro.sim.cache import ResultCache, cache_from_env
+from repro.sim.parallel import ParallelRunner, SimTask
 from repro.stats.report import Table
+from repro.workloads import commercial_suite, compute_suite, full_suite
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-BENCH_MAX_INSTRUCTIONS = 50_000_000
+BENCH_MAX_INSTRUCTIONS = int(
+    os.environ.get("REPRO_BENCH_MAX_INSTRUCTIONS", 50_000_000)
+)
+
+# CI smoke mode: shrink every workload so the whole suite runs in
+# seconds.  Orderings at this scale are indicative, not evaluative.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").lower() in ("1", "on", "true")
+SMOKE_DIVISOR = 16
+BENCH_SCALE = "tiny" if SMOKE else "bench"
+
+_CACHE: Optional[ResultCache] = cache_from_env()
+
+
+def bench_cache() -> Optional[ResultCache]:
+    """The process-wide result cache (None when ``REPRO_CACHE=0``)."""
+    return _CACHE
+
+
+def scaled(value: int, floor: int = 1) -> int:
+    """Shrink a hardcoded workload parameter in smoke mode.
+
+    Dividing by a power of two preserves power-of-two-ness, which some
+    generators (hash tables) require of their sizes.
+    """
+    if not SMOKE:
+        return value
+    return max(floor, value // SMOKE_DIVISOR)
+
+
+def bench_full_suite() -> List[Program]:
+    return full_suite(BENCH_SCALE)
+
+
+def bench_commercial_suite() -> List[Program]:
+    return commercial_suite(BENCH_SCALE)
+
+
+def bench_compute_suite() -> List[Program]:
+    return compute_suite(BENCH_SCALE)
 
 
 def bench_hierarchy(latency: int = 300, mshr: int = 16,
@@ -52,7 +106,8 @@ def bench_hierarchy(latency: int = 300, mshr: int = 16,
     )
 
 
-def paper_machines(hierarchy: HierarchyConfig = None) -> List[MachineConfig]:
+def paper_machines(
+        hierarchy: Optional[HierarchyConfig] = None) -> List[MachineConfig]:
     """The four design points of the paper's narrative."""
     hierarchy = hierarchy or bench_hierarchy()
     return [
@@ -63,7 +118,8 @@ def paper_machines(hierarchy: HierarchyConfig = None) -> List[MachineConfig]:
     ]
 
 
-def ooo_comparators(hierarchy: HierarchyConfig = None) -> List[MachineConfig]:
+def ooo_comparators(
+        hierarchy: Optional[HierarchyConfig] = None) -> List[MachineConfig]:
     """The "larger and higher-powered" out-of-order design points."""
     hierarchy = hierarchy or bench_hierarchy()
     return [
@@ -74,19 +130,42 @@ def ooo_comparators(hierarchy: HierarchyConfig = None) -> List[MachineConfig]:
 
 
 def run(config: MachineConfig, program: Program) -> CoreResult:
-    return simulate(config, program,
-                    max_instructions=BENCH_MAX_INSTRUCTIONS)
+    """One benchmark point, through the result cache."""
+    runner = ParallelRunner(jobs=1, cache=_CACHE)
+    return runner.run([
+        SimTask(config=config, program=program,
+                max_instructions=BENCH_MAX_INSTRUCTIONS)
+    ])[0]
+
+
+def run_many(points: List[SimTask]) -> List[CoreResult]:
+    """A batch of points through the pool (``REPRO_JOBS``) + cache,
+    results in submission order."""
+    runner = ParallelRunner(cache=_CACHE)
+    return runner.run(points)
 
 
 def run_matrix(programs: List[Program],
                configs: List[MachineConfig]) -> Dict[str, Dict[str, CoreResult]]:
-    """program name -> machine name -> result."""
-    return {
-        program.name: {
-            config.name: run(config, program) for config in configs
-        }
+    """program name -> machine name -> result.
+
+    The full matrix is one :class:`ParallelRunner` batch: with
+    ``REPRO_JOBS`` set, points run across worker processes; cached
+    points are restored without simulating at all.
+    """
+    tasks = [
+        SimTask(config=config, program=program,
+                max_instructions=BENCH_MAX_INSTRUCTIONS)
         for program in programs
+        for config in configs
+    ]
+    results = run_many(tasks)
+    matrix: Dict[str, Dict[str, CoreResult]] = {
+        program.name: {} for program in programs
     }
+    for task, result in zip(tasks, results):
+        matrix[task.program.name][task.config.name] = result
+    return matrix
 
 
 def save_table(experiment: str, table: Table) -> str:

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Run the whole 18-experiment evaluation in one command.
+
+Each ``bench_e*.py`` module is executed in its own worker process (the
+experiments are independent), so ``--jobs 4`` overlaps four experiments
+at a time.  Workers run their simulations single-threaded
+(``REPRO_JOBS=1``) to avoid nested pools; results go through the shared
+content-addressed cache, so a re-run after an interrupted sweep only
+simulates the missing points.
+
+Examples::
+
+    python benchmarks/run_all.py                  # full evaluation
+    python benchmarks/run_all.py --smoke --jobs 4 # CI smoke pass
+    python benchmarks/run_all.py --only e3,e8     # two experiments
+    python benchmarks/run_all.py --no-cache       # force re-simulation
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import pathlib
+import re
+import sys
+import time
+import traceback
+from typing import List, Optional, Tuple
+
+BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def discover() -> List[str]:
+    """Module names of every experiment, in e1..e18 order."""
+    def order(name: str) -> int:
+        match = re.match(r"bench_e(\d+)_", name)
+        return int(match.group(1)) if match else 10 ** 6
+
+    names = [path.stem for path in BENCH_DIR.glob("bench_e*_*.py")]
+    return sorted(names, key=order)
+
+
+def _run_one(module_name: str) -> Tuple[str, float, Optional[str]]:
+    """Worker: import one experiment module, run it, persist its table.
+
+    Returns (experiment name, wall seconds, error text or None).
+    """
+    os.environ["REPRO_JOBS"] = "1"  # no nested pools inside a worker
+    experiment_name = module_name[len("bench_"):]
+    start = time.perf_counter()
+    try:
+        for path in (BENCH_DIR, BENCH_DIR.parent / "src"):
+            if str(path) not in sys.path:
+                sys.path.insert(0, str(path))
+        import importlib
+
+        module = importlib.import_module(module_name)
+        result = module.experiment()
+        table = result[0] if isinstance(result, tuple) else result
+        render = getattr(table, "render", None)
+        if render is not None:
+            results_dir = BENCH_DIR / "results"
+            results_dir.mkdir(exist_ok=True)
+            (results_dir / f"{experiment_name}.txt").write_text(
+                render() + "\n")
+    except Exception:  # noqa: BLE001 — one experiment must not kill the run
+        return experiment_name, time.perf_counter() - start, \
+            traceback.format_exc()
+    return experiment_name, time.perf_counter() - start, None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the benchmark suite (tables land in "
+                    "benchmarks/results/).")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrink every workload so the suite runs in "
+                             "seconds (sets REPRO_BENCH_SMOKE=1)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="experiments to run concurrently "
+                             "(default: REPRO_JOBS or 1; 0 = all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache (REPRO_CACHE=0)")
+    parser.add_argument("--only", default=None, metavar="E3,E8",
+                        help="comma-separated experiment prefixes to run")
+    parser.add_argument("--max-instructions", type=int, default=None,
+                        help="override the per-run instruction budget")
+    args = parser.parse_args(argv)
+
+    # Environment must be fixed before any worker forks (common.py reads
+    # it at import time, which happens inside the workers).
+    if args.smoke:
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+    if args.no_cache:
+        os.environ["REPRO_CACHE"] = "0"
+    if args.max_instructions is not None:
+        os.environ["REPRO_BENCH_MAX_INSTRUCTIONS"] = str(args.max_instructions)
+
+    modules = discover()
+    if args.only:
+        wanted = [token.strip().lower() for token in args.only.split(",")]
+        modules = [
+            name for name in modules
+            if any(name[len("bench_"):].startswith(prefix + "_")
+                   or name[len("bench_"):].split("_")[0] == prefix
+                   for prefix in wanted)
+        ]
+        if not modules:
+            parser.error(f"--only {args.only!r} matched no experiments")
+
+    jobs = args.jobs
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    if jobs <= 0:
+        jobs = multiprocessing.cpu_count()
+    jobs = min(jobs, len(modules))
+
+    mode = "smoke" if args.smoke else "full"
+    print(f"running {len(modules)} experiments ({mode} scale, "
+          f"jobs={jobs}, cache={'off' if args.no_cache else 'on'})")
+
+    start = time.perf_counter()
+    if jobs > 1:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=jobs) as pool:
+            reports = pool.map(_run_one, modules)
+    else:
+        reports = [_run_one(name) for name in modules]
+    total = time.perf_counter() - start
+
+    failures = []
+    for name, seconds, error in reports:
+        status = "FAIL" if error else "ok"
+        print(f"  {status:4s} {name:24s} {seconds:7.2f}s")
+        if error:
+            failures.append((name, error))
+    print(f"total: {total:.2f}s wall for {len(modules)} experiments")
+
+    for name, error in failures:
+        print(f"\n--- {name} failed ---\n{error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

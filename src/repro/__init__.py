@@ -65,10 +65,16 @@ from repro.power import (
 )
 from repro.sim import (
     Machine,
+    ParallelRunner,
+    ResultCache,
+    SIM_SCHEMA_VERSION,
+    SimTask,
     compare_machines,
+    run_simulations,
     simulate,
     speedup_table,
     sweep,
+    sweep_many,
     verify_against_golden,
 )
 from repro.stats import Table, geomean
@@ -117,8 +123,9 @@ __all__ = [
     # traces
     "Trace", "record_trace",
     # simulation
-    "Machine", "compare_machines", "simulate", "speedup_table", "sweep",
-    "verify_against_golden",
+    "Machine", "ParallelRunner", "ResultCache", "SIM_SCHEMA_VERSION",
+    "SimTask", "compare_machines", "run_simulations", "simulate",
+    "speedup_table", "sweep", "sweep_many", "verify_against_golden",
     # stats
     "Table", "geomean",
     # workloads

@@ -34,10 +34,24 @@ class CoreResult:
     state: ArchState
     # Core-specific statistics objects (branch stats, mode breakdown...).
     extra: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    # Host wall-clock seconds the simulation took (set by the harness).
+    # Excluded from equality: two runs of the same point are the same
+    # result even though the host timed them differently.
+    wall_seconds: float = dataclasses.field(default=0.0, compare=False)
 
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def sim_insts_per_second(self) -> float:
+        """Simulated instructions retired per host wall-clock second."""
+        return self.instructions / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def sim_cycles_per_second(self) -> float:
+        """Simulated cycles advanced per host wall-clock second."""
+        return self.cycles / self.wall_seconds if self.wall_seconds else 0.0
 
     @property
     def cpi(self) -> float:

@@ -87,7 +87,7 @@ class InOrderCore(Core):
                 if fetch.ready_cycle > earliest:
                     earliest = fetch.ready_cycle
                     stall_reason = "fetch"
-            for src in inst.source_regs():
+            for src in inst.sources:
                 if reg_ready[src] > earliest:
                     earliest = reg_ready[src]
                     stall_reason = reg_producer[src]

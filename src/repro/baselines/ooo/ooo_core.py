@@ -138,7 +138,7 @@ class OoOCore(Core):
 
             # ---- operand readiness -----------------------------------
             ready = dispatch
-            for src in inst.source_regs():
+            for src in inst.sources:
                 if reg_complete[src] > ready:
                     ready = reg_complete[src]
 

@@ -49,7 +49,7 @@ from repro.core.modes import ExecMode, FailCause, ScoutCause
 from repro.core.regstate import SpeculativeRegisters
 from repro.core.store_buffer import StoreBuffer
 from repro.errors import SimulatorInvariantError
-from repro.isa.opcodes import Op, OpClass, READS_RS1, READS_RS2
+from repro.isa.opcodes import Op, OpClass
 from repro.isa.program import Program
 from repro.isa.registers import REG_COUNT, ZERO_REG
 from repro.isa.semantics import branch_taken, compute_value, effective_address
@@ -285,7 +285,7 @@ class SSTCore(Core):
             cls = inst.op_class
 
             earliest = self._cycle
-            for src in inst.source_regs():
+            for src in inst.sources:
                 if reg_ready[src] > earliest:
                     earliest = reg_ready[src]
             if until is not None and earliest >= until:
@@ -454,16 +454,28 @@ class SSTCore(Core):
         else:
             self.mode = ExecMode.EXECUTE_AHEAD
 
-    def _outstanding(self, cycle: int) -> List[int]:
-        return [ready for ready in self._producer_ready.values()
-                if ready > cycle]
+    def _min_outstanding(self, cycle: int) -> Optional[int]:
+        """Earliest completion among still-pending producers (no list
+        allocation: this runs on every idle speculative cycle)."""
+        earliest: Optional[int] = None
+        for ready in self._producer_ready.values():
+            if ready > cycle and (earliest is None or ready < earliest):
+                earliest = ready
+        return earliest
+
+    def _count_outstanding(self, cycle: int) -> int:
+        count = 0
+        for ready in self._producer_ready.values():
+            if ready > cycle:
+                count += 1
+        return count
 
     def _enter_scout(self, cause: ScoutCause) -> None:
         self.stats.scout_sessions[cause] += 1
         self._account_mode_cycles(self._cycle)
         self.mode = ExecMode.SCOUT
-        outstanding = self._outstanding(self._cycle)
-        self._scout_end = min(outstanding) if outstanding else self._cycle
+        earliest = self._min_outstanding(self._cycle)
+        self._scout_end = earliest if earliest is not None else self._cycle
         if self._ahead_block in ("dq_full", "sb_full"):
             self._ahead_block = None
 
@@ -589,20 +601,33 @@ class SSTCore(Core):
 
     def _speculative_loop(self, budget: int,
                           until: Optional[int] = None) -> None:
+        """The episode cycle loop.
+
+        This is the simulator's hottest code: it runs once per
+        speculative cycle for the whole episode.  Wake-up candidates are
+        folded into a single scalar as they appear (instead of building
+        a per-cycle list) and hot attributes are hoisted into locals.
+        """
         width = self.config.width
+        stats = self.stats
+        try_commits = self._try_commits
+        try_replay_issue = self._try_replay_issue
+        try_ahead_issue = self._try_ahead_issue
         while self.mode is not ExecMode.NORMAL:
             if until is not None and self._cycle >= until:
                 return
             cycle = self._cycle
-            wakes: List[int] = []
+            # Earliest future event that could unblock issue this
+            # episode; None until one is seen.
+            wake_min: Optional[int] = None
 
             if self.mode is ExecMode.SCOUT:
                 if cycle >= self._scout_end:
                     self._rollback(cycle, cause=None)
                     return
-                wakes.append(self._scout_end)
+                wake_min = self._scout_end
 
-            self._try_commits(cycle)
+            try_commits(cycle)
             if self.mode is ExecMode.NORMAL:
                 return
 
@@ -613,37 +638,39 @@ class SSTCore(Core):
             # ---- replay strand (priority) ----------------------------
             if self.mode is not ExecMode.SCOUT:
                 while budget_left > 0:
-                    status, wake = self._try_replay_issue(cycle)
+                    status, wake = try_replay_issue(cycle)
                     if status is _ISSUED:
                         issued_replay += 1
                         budget_left -= 1
                         if self.mode is ExecMode.NORMAL:
                             return  # rollback mid-replay
                         continue
-                    if wake is not None:
-                        wakes.append(wake)
+                    if wake is not None and wake > cycle and (
+                            wake_min is None or wake < wake_min):
+                        wake_min = wake
                     break
-                self._try_commits(cycle)
+                try_commits(cycle)
                 if self.mode is ExecMode.NORMAL:
                     return
 
             # ---- ahead strand ----------------------------------------
             while budget_left > 0:
                 self._check_budget(
-                    self.stats.normal_insts + self.stats.ahead_insts, budget
+                    stats.normal_insts + stats.ahead_insts, budget
                 )
-                status, wake = self._try_ahead_issue(cycle)
+                status, wake = try_ahead_issue(cycle)
                 if status is _ISSUED:
                     issued_ahead += 1
                     budget_left -= 1
                     continue
                 if status is _RETRY:
                     continue
-                if wake is not None:
-                    wakes.append(wake)
+                if wake is not None and wake > cycle and (
+                        wake_min is None or wake < wake_min):
+                    wake_min = wake
                 break
 
-            self._try_commits(cycle)
+            try_commits(cycle)
             if self.mode is ExecMode.NORMAL:
                 return
 
@@ -654,15 +681,16 @@ class SSTCore(Core):
             if issued_replay or issued_ahead:
                 next_cycle = cycle + 1
             else:
-                future = [w for w in wakes if w > cycle]
-                outstanding = self._outstanding(cycle)
-                future.extend(outstanding)
-                if not future:
+                outstanding = self._min_outstanding(cycle)
+                if outstanding is not None and (
+                        wake_min is None or outstanding < wake_min):
+                    wake_min = outstanding
+                if wake_min is None:
                     raise SimulatorInvariantError(
                         f"speculative deadlock at cycle {cycle} "
                         f"(mode={self.mode}, block={self._ahead_block})"
                     )
-                next_cycle = min(future)
+                next_cycle = wake_min
             if until is not None:
                 # Bounded-skew interleaving: never run past the quantum.
                 next_cycle = min(next_cycle, until)
@@ -883,7 +911,7 @@ class SSTCore(Core):
             self._ahead_block = "membar"
             return _BLOCKED, None
 
-        sources = inst.source_regs()
+        sources = inst.sources
         na_sources = [src for src in sources if spec.is_na(src)]
 
         if self.mode is ExecMode.SCOUT:
@@ -916,25 +944,23 @@ class SSTCore(Core):
         self.stats.ahead_insts += 1
         return _ISSUED, None
 
-    def _capture(self, inst, spec) -> Dict[str, Optional[int]]:
-        """Capture rs1/rs2 as values or producer seqs for a DQ entry."""
-        fields: Dict[str, Optional[int]] = {
-            "rs1_value": None, "rs1_producer": None,
-            "rs2_value": None, "rs2_producer": None,
-        }
-        if inst.op in READS_RS1:
-            producer = spec.producer_of(inst.rs1)
-            if producer is None:
-                fields["rs1_value"] = spec.read(inst.rs1)
-            else:
-                fields["rs1_producer"] = producer
-        if inst.op in READS_RS2:
-            producer = spec.producer_of(inst.rs2)
-            if producer is None:
-                fields["rs2_value"] = spec.read(inst.rs2)
-            else:
-                fields["rs2_producer"] = producer
-        return fields
+    def _capture(self, inst, spec) -> Tuple[Optional[int], Optional[int],
+                                            Optional[int], Optional[int]]:
+        """Capture rs1/rs2 as values or producer seqs for a DQ entry.
+
+        Returns ``(rs1_value, rs1_producer, rs2_value, rs2_producer)``
+        directly (no per-defer dict allocation on the hot path).
+        """
+        rs1_value = rs1_producer = rs2_value = rs2_producer = None
+        if inst.reads_rs1:
+            rs1_producer = spec.producer_of(inst.rs1)
+            if rs1_producer is None:
+                rs1_value = spec.read(inst.rs1)
+        if inst.reads_rs2:
+            rs2_producer = spec.producer_of(inst.rs2)
+            if rs2_producer is None:
+                rs2_value = spec.read(inst.rs2)
+        return rs1_value, rs1_producer, rs2_value, rs2_producer
 
     def _defer_issue(self, inst, pc: int, cycle: int,
                      order_defer: bool = False) -> Tuple[str, Optional[int]]:
@@ -949,8 +975,12 @@ class SSTCore(Core):
             self._ahead_pc = pc + 1
             return self._consume_slot(cycle)
 
+        rs1_value, rs1_producer, rs2_value, rs2_producer = \
+            self._capture(inst, spec)
         entry = DQEntry(seq=seq, pc=pc, inst=inst,
-                        order_defer=order_defer, **self._capture(inst, spec))
+                        rs1_value=rs1_value, rs1_producer=rs1_producer,
+                        rs2_value=rs2_value, rs2_producer=rs2_producer,
+                        order_defer=order_defer)
         next_pc = pc + 1
 
         if cls is OpClass.BRANCH:
@@ -1062,10 +1092,9 @@ class SSTCore(Core):
                     spec.write_na(inst.rd, seq)
                     self._slice_values[seq] = value
                     self._producer_ready[seq] = result.ready_cycle
-                    outstanding = len(self._outstanding(cycle))
-                    self.stats.peak_outstanding_misses = max(
-                        self.stats.peak_outstanding_misses, outstanding
-                    )
+                    outstanding = self._count_outstanding(cycle)
+                    if outstanding > self.stats.peak_outstanding_misses:
+                        self.stats.peak_outstanding_misses = outstanding
                 else:
                     spec.write_available(
                         inst.rd, value, seq, result.ready_cycle
@@ -1154,7 +1183,7 @@ class SSTCore(Core):
 
         # Operands available: stall-on-use still applies in scout.
         wake = cycle
-        for src in inst.source_regs():
+        for src in inst.sources:
             if spec.ready[src] > wake:
                 wake = spec.ready[src]
         if wake > cycle:

@@ -30,6 +30,12 @@ class Instruction:
     Fields that an opcode does not use are left at their defaults and
     ignored.  ``target`` is the resolved absolute instruction index for
     branches and ``JAL``; the assembler fills it in from labels.
+
+    Decode metadata (``op_class``, ``writes_reg``, the source-register
+    tuple, ...) is computed once at construction and stored on the
+    instance: the simulation cycle loops consult these on every issue,
+    and precomputing them replaces repeated enum-map and membership
+    lookups on the hot path with plain attribute reads.
     """
 
     op: Op
@@ -41,52 +47,55 @@ class Instruction:
     # Original label text, kept purely for disassembly readability.
     label: Optional[str] = None
 
-    # ------------------------------------------------------------------
-    # Static properties used by every core model.
-    # ------------------------------------------------------------------
+    # Precomputed decode metadata (derived, excluded from eq/repr).
+    op_class: OpClass = dataclasses.field(init=False, repr=False,
+                                          compare=False, default=None)
+    writes_reg: bool = dataclasses.field(init=False, repr=False,
+                                         compare=False, default=False)
+    reads_rs1: bool = dataclasses.field(init=False, repr=False,
+                                        compare=False, default=False)
+    reads_rs2: bool = dataclasses.field(init=False, repr=False,
+                                        compare=False, default=False)
+    sources: Tuple[int, ...] = dataclasses.field(init=False, repr=False,
+                                                 compare=False, default=())
+    is_control: bool = dataclasses.field(init=False, repr=False,
+                                         compare=False, default=False)
+    is_cond_branch: bool = dataclasses.field(init=False, repr=False,
+                                             compare=False, default=False)
+    is_load: bool = dataclasses.field(init=False, repr=False,
+                                      compare=False, default=False)
+    is_store: bool = dataclasses.field(init=False, repr=False,
+                                       compare=False, default=False)
+    is_mem: bool = dataclasses.field(init=False, repr=False,
+                                     compare=False, default=False)
 
-    @property
-    def op_class(self) -> OpClass:
-        return self.op.op_class
-
-    @property
-    def writes_reg(self) -> bool:
-        """True if the instruction architecturally writes ``rd``.
-
-        Writes to ``r0`` still count here; the register file discards
-        them, which keeps dependence tracking uniform (cores must check
-        for the zero register themselves).
-        """
-        return self.op in WRITES_RD
+    def __post_init__(self) -> None:
+        op = self.op
+        set_attr = object.__setattr__  # frozen dataclass
+        set_attr(self, "op_class", op.op_class)
+        # Writes to ``r0`` still count as register writes; the register
+        # file discards them, which keeps dependence tracking uniform
+        # (cores must check for the zero register themselves).
+        set_attr(self, "writes_reg", op in WRITES_RD)
+        reads_rs1 = op in READS_RS1
+        reads_rs2 = op in READS_RS2
+        set_attr(self, "reads_rs1", reads_rs1)
+        set_attr(self, "reads_rs2", reads_rs2)
+        sources = []
+        if reads_rs1:
+            sources.append(self.rs1)
+        if reads_rs2:
+            sources.append(self.rs2)
+        set_attr(self, "sources", tuple(sources))
+        set_attr(self, "is_control", op in CONTROL_OPS)
+        set_attr(self, "is_cond_branch", op in BRANCH_OPS)
+        set_attr(self, "is_load", op is Op.LD)
+        set_attr(self, "is_store", op is Op.ST)
+        set_attr(self, "is_mem", op is Op.LD or op is Op.ST)
 
     def source_regs(self) -> Tuple[int, ...]:
         """The register operands this instruction reads, in rs1,rs2 order."""
-        sources = []
-        if self.op in READS_RS1:
-            sources.append(self.rs1)
-        if self.op in READS_RS2:
-            sources.append(self.rs2)
-        return tuple(sources)
-
-    @property
-    def is_control(self) -> bool:
-        return self.op in CONTROL_OPS
-
-    @property
-    def is_cond_branch(self) -> bool:
-        return self.op in BRANCH_OPS
-
-    @property
-    def is_load(self) -> bool:
-        return self.op is Op.LD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op is Op.ST
-
-    @property
-    def is_mem(self) -> bool:
-        return self.op in (Op.LD, Op.ST)
+        return self.sources
 
     # ------------------------------------------------------------------
     # Disassembly.

@@ -9,6 +9,7 @@ touching a memory model directly.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import ReproError
@@ -47,6 +48,7 @@ class Program:
         self.labels: Dict[str, int] = dict(labels or {})
         self.data: List[DataWord] = list(data or [])
         self.name = name
+        self._fingerprint: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -56,6 +58,30 @@ class Program:
 
     def __getitem__(self, index: int) -> Instruction:
         return self.instructions[index]
+
+    def fingerprint(self) -> str:
+        """Content identity: a SHA-256 over the instruction stream, the
+        initial data image, and the program name.
+
+        Two programs with the same fingerprint produce identical runs on
+        identical machines, which is what makes the fingerprint usable
+        as part of a content-addressed result-cache key (labels are
+        excluded — they are disassembly cosmetics with no architectural
+        effect).  The digest is memoized; programs are immutable once
+        built.
+        """
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+            hasher.update(f"program:{self.name}\n".encode())
+            for inst in self.instructions:
+                hasher.update(
+                    f"i:{inst.op.value}:{inst.rd}:{inst.rs1}:{inst.rs2}:"
+                    f"{inst.imm}:{inst.target}\n".encode()
+                )
+            for word in self.data:
+                hasher.update(f"d:{word.addr}:{word.value}\n".encode())
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     def label_of(self, index: int) -> Optional[str]:
         """Reverse label lookup (first match), for disassembly."""

@@ -1,18 +1,46 @@
 """Simulation driving: build a machine from a config, run programs,
-verify against the golden model, sweep parameters, compare cores."""
+verify against the golden model, sweep parameters, compare cores —
+in parallel and with content-addressed result caching."""
 
-from repro.sim.machine import Machine, build_core, build_hierarchy
-from repro.sim.runner import simulate, verify_against_golden
+from repro.sim.cache import (
+    ResultCache,
+    ResultCacheStats,
+    SIM_SCHEMA_VERSION,
+    cache_from_env,
+    result_key,
+)
 from repro.sim.compare import compare_machines, speedup_table
-from repro.sim.sweep import sweep
+from repro.sim.machine import Machine, build_core, build_hierarchy
+from repro.sim.parallel import (
+    ParallelRunner,
+    SimTask,
+    SimTaskError,
+    TaskOutcome,
+    resolve_jobs,
+    run_simulations,
+)
+from repro.sim.runner import simulate, verify_against_golden
+from repro.sim.sweep import sweep, sweep_many
 
 __all__ = [
     "Machine",
+    "ParallelRunner",
+    "ResultCache",
+    "ResultCacheStats",
+    "SIM_SCHEMA_VERSION",
+    "SimTask",
+    "SimTaskError",
+    "TaskOutcome",
     "build_core",
     "build_hierarchy",
-    "simulate",
-    "verify_against_golden",
+    "cache_from_env",
     "compare_machines",
+    "resolve_jobs",
+    "result_key",
+    "run_simulations",
+    "simulate",
     "speedup_table",
     "sweep",
+    "sweep_many",
+    "verify_against_golden",
 ]

@@ -1,0 +1,322 @@
+"""Content-addressed simulation result cache.
+
+``Machine.run`` is deliberately side-effect-free: the outcome of one
+simulation point is a pure function of (machine config, program,
+instruction budget).  That makes every point cacheable under a stable
+content hash — identical points re-requested by a different benchmark
+module, a different sweep, or a later process simply reload their
+:class:`~repro.baselines.core_base.CoreResult` from disk instead of
+re-simulating up to tens of millions of instructions.
+
+The key is a SHA-256 over a *canonical* rendering of the inputs:
+
+* every primitive is type-prefixed (``int:4`` vs ``str:4`` cannot
+  collide), dict keys are sorted, dataclasses contribute their class
+  name plus sorted fields, enums contribute class and value;
+* the program contributes its content fingerprint
+  (:meth:`~repro.isa.program.Program.fingerprint`): the instruction
+  stream and initial data image, not the object identity;
+* :data:`SIM_SCHEMA_VERSION` is hashed into every key, so bumping it
+  after any core-semantics change atomically invalidates all previously
+  cached results (stale entries are simply never addressed again).
+
+Results are stored one JSON file per key under ``benchmarks/.simcache/``
+(override with ``REPRO_CACHE_DIR``).  Serialization is a small tagged
+codec covering the closed set of types a ``CoreResult`` transitively
+contains; anything outside that set raises, so a new stats type cannot
+be silently dropped from cached results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Dict, Optional, Type
+
+from repro.baselines.core_base import CoreResult
+from repro.baselines.ooo.ooo_core import OoOStats
+from repro.branch.predictors import BranchStats
+from repro.core.checkpoint import CheckpointStats
+from repro.core.deferred_queue import DQStats
+from repro.core.modes import ExecMode, FailCause, ScoutCause
+from repro.core.sst_core import SSTStats
+from repro.core.store_buffer import SBStats
+from repro.errors import ReproError
+from repro.isa.interpreter import ArchState, InterpreterStats
+from repro.isa.program import Program
+from repro.memory.cache import CacheStats
+from repro.memory.hierarchy import HierarchyStats
+from repro.memory.sparse_memory import SparseMemory
+from repro.stats.histogram import Histogram
+
+# Bump on ANY change to core timing/functional semantics or to the
+# serialized result layout: the version is part of every cache key, so
+# a bump orphans (never re-addresses) every previously cached result.
+SIM_SCHEMA_VERSION = 1
+
+DEFAULT_CACHE_DIR = pathlib.Path("benchmarks") / ".simcache"
+
+
+class CacheCodecError(ReproError):
+    """A value outside the serializable closed set of result types."""
+
+
+# ---------------------------------------------------------------------------
+# Canonical key material.
+# ---------------------------------------------------------------------------
+
+
+def canonicalize(value: Any) -> Any:
+    """A JSON-stable, type-prefixed canonical form of ``value``.
+
+    Primitives carry their type name so cross-type collisions are
+    impossible; dataclasses and dicts canonicalize recursively with
+    sorted keys.  The output feeds ``json.dumps(..., sort_keys=True)``.
+    """
+    if value is None:
+        return "none"
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return f"bool:{value}"
+    if isinstance(value, int):
+        return f"int:{value}"
+    if isinstance(value, float):
+        return f"float:{value!r}"
+    if isinstance(value, str):
+        return f"str:{value}"
+    if isinstance(value, enum.Enum):
+        return f"enum:{type(value).__name__}:{value.value}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        rendered = {
+            field.name: canonicalize(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+            if field.init  # derived (init=False) fields restate init ones
+        }
+        rendered["__type__"] = type(value).__name__
+        return rendered
+    if isinstance(value, dict):
+        return {
+            json.dumps(canonicalize(key), sort_keys=True):
+                canonicalize(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    raise CacheCodecError(
+        f"cannot canonicalize {type(value).__name__} for a cache key"
+    )
+
+
+def result_key(config: Any, program: Program, max_instructions: int) -> str:
+    """The content hash addressing one simulation point."""
+    material = {
+        "schema": SIM_SCHEMA_VERSION,
+        "config": canonicalize(config),
+        "program": program.fingerprint(),
+        "max_instructions": max_instructions,
+    }
+    digest = hashlib.sha256(
+        json.dumps(material, sort_keys=True).encode()
+    )
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Result (de)serialization — a tagged codec over the closed type set.
+# ---------------------------------------------------------------------------
+
+_DATACLASSES: Dict[str, Type] = {
+    cls.__name__: cls
+    for cls in (
+        CoreResult, ArchState, SSTStats, BranchStats, HierarchyStats,
+        CacheStats, DQStats, SBStats, CheckpointStats, OoOStats,
+        InterpreterStats,
+    )
+}
+
+_ENUMS: Dict[str, Type] = {
+    cls.__name__: cls for cls in (ExecMode, FailCause, ScoutCause)
+}
+
+
+def encode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        name = type(value).__name__
+        if name not in _ENUMS:
+            raise CacheCodecError(f"unregistered enum {name}")
+        return {"__enum__": name, "value": value.value}
+    if isinstance(value, SparseMemory):
+        return {"__memory__": sorted(value.items())}
+    if isinstance(value, Histogram):
+        return {"__histogram__": value.name, "counts": list(value.items())}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name not in _DATACLASSES:
+            raise CacheCodecError(f"unregistered dataclass {name}")
+        return {
+            "__dataclass__": name,
+            "fields": {
+                field.name: encode_value(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        # Pair list, so non-string keys (enums, ints) round-trip.
+        return {"__table__": [[encode_value(key), encode_value(item)]
+                              for key, item in value.items()]}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    raise CacheCodecError(
+        f"cannot serialize {type(value).__name__} into the result cache"
+    )
+
+
+def decode_value(payload: Any) -> Any:
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return payload
+    if isinstance(payload, list):
+        return [decode_value(item) for item in payload]
+    if "__enum__" in payload:
+        return _ENUMS[payload["__enum__"]](payload["value"])
+    if "__memory__" in payload:
+        memory = SparseMemory()
+        for addr, value in payload["__memory__"]:
+            memory.write(addr, value)
+        return memory
+    if "__histogram__" in payload:
+        histogram = Histogram(payload["__histogram__"])
+        for value, weight in payload["counts"]:
+            histogram.add(value, weight)
+        return histogram
+    if "__dataclass__" in payload:
+        cls = _DATACLASSES[payload["__dataclass__"]]
+        fields = {
+            name: decode_value(item)
+            for name, item in payload["fields"].items()
+        }
+        return cls(**fields)
+    if "__table__" in payload:
+        return {decode_value(key): decode_value(item)
+                for key, item in payload["__table__"]}
+    raise CacheCodecError(f"unrecognized cache payload: {payload!r}")
+
+
+# ---------------------------------------------------------------------------
+# The on-disk cache.
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ResultCacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0  # corrupt / schema-mismatched files treated as misses
+
+
+class ResultCache:
+    """One directory of ``<sha256>.json`` cached simulation results.
+
+    Concurrent writers (parallel sweeps, independent processes) are safe:
+    files are written to a temp name and atomically renamed, and any
+    reader that finds a corrupt or stale file treats it as a miss.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = pathlib.Path(
+            root if root is not None
+            else os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        )
+        self.stats = ResultCacheStats()
+
+    def key(self, config: Any, program: Program,
+            max_instructions: int) -> str:
+        return result_key(config, program, max_instructions)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[CoreResult]:
+        """The cached result for ``key``, or None (counts a miss)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        try:
+            if payload.get("schema") != SIM_SCHEMA_VERSION:
+                raise CacheCodecError("schema version mismatch")
+            result = decode_value(payload["result"])
+            if not isinstance(result, CoreResult):
+                raise CacheCodecError("cached payload is not a CoreResult")
+        except (CacheCodecError, KeyError, TypeError, ValueError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def store(self, key: str, result: CoreResult) -> None:
+        """Persist ``result`` under ``key`` (atomic rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SIM_SCHEMA_VERSION,
+            "key": key,
+            "result": encode_value(result),
+        }
+        text = json.dumps(payload)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w") as tmp:
+                tmp.write(text)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+def cache_enabled_by_env() -> bool:
+    """``REPRO_CACHE`` gate: unset/1/on = enabled, 0/off = disabled."""
+    return os.environ.get("REPRO_CACHE", "1").lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+def cache_from_env() -> Optional[ResultCache]:
+    """A :class:`ResultCache` honoring ``REPRO_CACHE``/``REPRO_CACHE_DIR``,
+    or None when caching is disabled."""
+    return ResultCache() if cache_enabled_by_env() else None

@@ -2,31 +2,42 @@
 
 ``compare_machines`` runs one program on several machine configs (each
 with a fresh hierarchy) and ``speedup_table`` renders the familiar
-"speedup over baseline" rows with a geometric mean at the bottom.
+"speedup over baseline" rows with a geometric mean at the bottom.  Both
+execute through :class:`~repro.sim.parallel.ParallelRunner`, so
+``REPRO_JOBS`` / ``jobs`` parallelizes them and an optional
+:class:`~repro.sim.cache.ResultCache` skips already-simulated points.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.baselines.core_base import CoreResult, DEFAULT_MAX_INSTRUCTIONS
 from repro.config import MachineConfig
 from repro.isa.program import Program
-from repro.sim.runner import simulate
+from repro.sim.cache import ResultCache
+from repro.sim.parallel import ParallelRunner, SimTask
 from repro.stats.report import Table, geomean
 
 
 def compare_machines(program: Program, configs: Sequence[MachineConfig], *,
                      verify: bool = False,
                      max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                     jobs: Optional[int] = None,
+                     cache: Optional[ResultCache] = None,
                      ) -> Dict[str, CoreResult]:
     """Run ``program`` on every config; returns name → result."""
-    results: Dict[str, CoreResult] = {}
-    for config in configs:
-        result = simulate(config, program, verify=verify,
-                          max_instructions=max_instructions)
-        results[config.name] = result
-    return results
+    tasks = [
+        SimTask(config=config, program=program, verify=verify,
+                max_instructions=max_instructions)
+        for config in configs
+    ]
+    runner = ParallelRunner(jobs, cache=cache)
+    results = runner.run(tasks)
+    return {
+        task.config.name: result
+        for task, result in zip(tasks, results)
+    }
 
 
 def speedup_table(title: str,
@@ -35,9 +46,15 @@ def speedup_table(title: str,
                   baseline_name: str, *,
                   verify: bool = False,
                   max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                  jobs: Optional[int] = None,
+                  cache: Optional[ResultCache] = None,
                   ) -> Table:
     """One row per program: IPC of the baseline and speedup of every
-    other machine over it; final row is the geometric mean."""
+    other machine over it; final row is the geometric mean.
+
+    The full (program × config) matrix is one runner batch, so worker
+    processes overlap points across rows."""
+    programs = list(programs)
     configs = list(configs)
     names = [config.name for config in configs]
     if baseline_name not in names:
@@ -48,12 +65,20 @@ def speedup_table(title: str,
         ["workload", f"{baseline_name} IPC"]
         + [f"{name} speedup" for name in others],
     )
+    tasks = [
+        SimTask(config=config, program=program, verify=verify,
+                max_instructions=max_instructions)
+        for program in programs
+        for config in configs
+    ]
+    runner = ParallelRunner(jobs, cache=cache)
+    flat = runner.run(tasks)
+    by_program: Dict[str, Dict[str, CoreResult]] = {}
+    for task, result in zip(tasks, flat):
+        by_program.setdefault(task.program.name, {})[task.config.name] = result
     speedups: Dict[str, List[float]] = {name: [] for name in others}
     for program in programs:
-        results = compare_machines(
-            program, configs, verify=verify,
-            max_instructions=max_instructions,
-        )
+        results = by_program[program.name]
         base = results[baseline_name]
         row: List = [program.name, round(base.ipc, 3)]
         for name in others:

@@ -8,6 +8,8 @@ sweep).
 
 from __future__ import annotations
 
+import time
+
 from repro.baselines.core_base import Core, CoreResult, DEFAULT_MAX_INSTRUCTIONS
 from repro.baselines.inorder import InOrderCore
 from repro.baselines.ooo import OoOCore
@@ -52,7 +54,9 @@ class Machine:
             max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> CoreResult:
         hierarchy = build_hierarchy(self.config.hierarchy)
         core = build_core(self.config, program, hierarchy)
+        started = time.perf_counter()
         result = core.run(max_instructions=max_instructions)
+        result.wall_seconds = time.perf_counter() - started
         # Re-label with the configured machine name so sweeps stay legible.
         result.core_name = self.name
         return result

@@ -1,0 +1,272 @@
+"""Parallel simulation engine.
+
+Every simulation point in a sweep or benchmark matrix is independent —
+``Machine.run`` builds a fresh hierarchy and core per run — so a batch
+of points is embarrassingly parallel.  :class:`ParallelRunner` is the
+one execution engine behind :func:`repro.sim.sweep.sweep`,
+``sweep_many``, ``compare_machines`` and the benchmark harness's
+``run_matrix``:
+
+* **worker pool** — ``REPRO_JOBS`` (or the ``jobs`` argument) processes
+  via ``multiprocessing``; ``jobs=1`` short-circuits to a zero-overhead
+  in-process loop, so the default behavior (env unset) is byte-for-byte
+  the old serial path;
+* **ordered collection** — results come back in task-submission order
+  regardless of completion order, so sweeps stay aligned with their
+  axis;
+* **crash isolation** — a task that raises (e.g. a diverging config
+  exhausting its instruction budget) reports a per-task failure instead
+  of killing the whole batch; ``on_error="skip"`` drops such points,
+  ``"raise"`` re-raises after every other point has finished;
+* **per-task timeout** — ``timeout`` seconds (or ``REPRO_TASK_TIMEOUT``)
+  bounds each point; on expiry the pool is torn down and unfinished
+  points report timeout failures;
+* **result cache** — when given a
+  :class:`~repro.sim.cache.ResultCache`, cached points are restored
+  without touching the pool and fresh results are persisted afterwards.
+
+Workers recompute nothing hidden: a task is (config, program, budget,
+verify) and the worker calls the same :func:`repro.sim.runner.simulate`
+the serial path uses, so parallel results are bit-identical to serial
+ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import Any, List, Optional, Sequence
+
+from repro.baselines.core_base import CoreResult, DEFAULT_MAX_INSTRUCTIONS
+from repro.config import MachineConfig
+from repro.errors import ConfigError, ReproError
+from repro.isa.program import Program
+from repro.sim.cache import ResultCache
+from repro.sim.runner import simulate, verify_against_golden
+
+
+class SimTaskError(ReproError):
+    """One or more simulation tasks failed inside a parallel batch."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SimTask:
+    """One simulation point: a (machine, program, budget) triple."""
+
+    config: MachineConfig
+    program: Program
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+    verify: bool = False
+    # Caller's correlation key (e.g. the sweep-axis value); carried
+    # through unchanged so outcomes are self-describing.
+    tag: Any = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.config.name}/{self.program.name}"
+
+
+@dataclasses.dataclass
+class TaskOutcome:
+    """What happened to one task: a result, or an isolated failure."""
+
+    task: SimTask
+    result: Optional[CoreResult] = None
+    error: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else 1.
+
+    Inside a pool worker (daemonic process) this always resolves to 1:
+    daemon processes cannot fork children, so nested parallel calls
+    degrade gracefully to inline execution.
+    """
+    if multiprocessing.current_process().daemon:
+        return 1
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    if jobs <= 0:  # 0 / negative = "use every core"
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _execute_task(task: SimTask):
+    """Pool worker body: never raises (crash isolation)."""
+    try:
+        result = simulate(
+            task.config, task.program, verify=task.verify,
+            max_instructions=task.max_instructions,
+        )
+        return "ok", result
+    except Exception as exc:  # noqa: BLE001 - isolate any task failure
+        return "error", f"{type(exc).__name__}: {exc}"
+
+
+class ParallelRunner:
+    """Runs batches of :class:`SimTask` with caching and a process pool."""
+
+    def __init__(self, jobs: Optional[int] = None, *,
+                 timeout: Optional[float] = None,
+                 cache: Optional[ResultCache] = None):
+        self.jobs = resolve_jobs(jobs)
+        if timeout is None:
+            env = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+            timeout = float(env) if env else None
+        self.timeout = timeout
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+
+    def run_outcomes(self, tasks: Sequence[SimTask]) -> List[TaskOutcome]:
+        """Execute every task; outcomes in task order, failures isolated."""
+        tasks = list(tasks)
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+
+        pending: List[int] = []
+        for index, task in enumerate(tasks):
+            hit = self._try_cache_load(task)
+            if hit is not None:
+                outcomes[index] = hit
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                executed = self._run_pool([tasks[i] for i in pending])
+            else:
+                executed = [self._run_inline(tasks[i]) for i in pending]
+            for index, outcome in zip(pending, executed):
+                outcomes[index] = outcome
+                if outcome.ok and self.cache is not None:
+                    key = self.cache.key(
+                        outcome.task.config, outcome.task.program,
+                        outcome.task.max_instructions,
+                    )
+                    self.cache.store(key, outcome.result)
+
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def run(self, tasks: Sequence[SimTask], *,
+            on_error: str = "raise") -> List[Optional[CoreResult]]:
+        """Results in task order.
+
+        ``on_error="raise"``: raise :class:`SimTaskError` listing every
+        failure (after all other tasks completed).  ``"skip"``: failed
+        points come back as None for the caller to filter.
+        """
+        if on_error not in ("raise", "skip"):
+            raise ValueError(f"on_error must be 'raise' or 'skip', "
+                             f"got {on_error!r}")
+        outcomes = self.run_outcomes(tasks)
+        failures = [o for o in outcomes if not o.ok]
+        if failures and on_error == "raise":
+            summary = "; ".join(
+                f"{o.task.label}: {o.error}" for o in failures[:4]
+            )
+            raise SimTaskError(
+                f"{len(failures)}/{len(outcomes)} simulation tasks "
+                f"failed ({summary})"
+            )
+        return [outcome.result for outcome in outcomes]
+
+    # ------------------------------------------------------------------
+
+    def _try_cache_load(self, task: SimTask) -> Optional[TaskOutcome]:
+        if self.cache is None:
+            return None
+        key = self.cache.key(task.config, task.program,
+                             task.max_instructions)
+        result = self.cache.load(key)
+        if result is None:
+            return None
+        if task.verify:
+            # Cached state is still golden-checked: the check is cheap
+            # next to a timing run and guards against cache corruption.
+            try:
+                verify_against_golden(result, task.program)
+            except Exception as exc:  # noqa: BLE001
+                return TaskOutcome(task=task, cached=True,
+                                   error=f"{type(exc).__name__}: {exc}")
+        return TaskOutcome(task=task, result=result, cached=True)
+
+    def _run_inline(self, task: SimTask) -> TaskOutcome:
+        status, payload = _execute_task(task)
+        if status == "ok":
+            return TaskOutcome(task=task, result=payload)
+        return TaskOutcome(task=task, error=payload)
+
+    def _run_pool(self, tasks: List[SimTask]) -> List[TaskOutcome]:
+        workers = min(self.jobs, len(tasks))
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        outcomes: List[TaskOutcome] = []
+        pool = context.Pool(processes=workers)
+        aborted = False
+        try:
+            handles = [pool.apply_async(_execute_task, (task,))
+                       for task in tasks]
+            for task, handle in zip(tasks, handles):
+                if aborted:
+                    # Pool already torn down by an earlier timeout;
+                    # salvage anything that finished before it.
+                    outcome = self._collect_finished(task, handle)
+                else:
+                    outcome = self._collect(task, handle)
+                    if outcome.error is not None \
+                            and outcome.error.startswith("TimeoutError"):
+                        pool.terminate()
+                        aborted = True
+                outcomes.append(outcome)
+        finally:
+            if not aborted:
+                pool.close()
+            pool.join()
+        return outcomes
+
+    def _collect(self, task: SimTask, handle) -> TaskOutcome:
+        try:
+            status, payload = handle.get(self.timeout)
+        except multiprocessing.TimeoutError:
+            return TaskOutcome(task=task, error=(
+                f"TimeoutError: no result within {self.timeout}s"
+            ))
+        except Exception as exc:  # worker process died (e.g. signal)
+            return TaskOutcome(task=task,
+                               error=f"{type(exc).__name__}: {exc}")
+        if status == "ok":
+            return TaskOutcome(task=task, result=payload)
+        return TaskOutcome(task=task, error=payload)
+
+    def _collect_finished(self, task: SimTask, handle) -> TaskOutcome:
+        if handle.ready():
+            return self._collect(task, handle)
+        return TaskOutcome(task=task, error=(
+            "TimeoutError: batch aborted by an earlier task timeout"
+        ))
+
+
+def run_simulations(tasks: Sequence[SimTask], *,
+                    jobs: Optional[int] = None,
+                    timeout: Optional[float] = None,
+                    cache: Optional[ResultCache] = None,
+                    on_error: str = "raise") -> List[Optional[CoreResult]]:
+    """One-shot convenience wrapper over :class:`ParallelRunner`."""
+    runner = ParallelRunner(jobs, timeout=timeout, cache=cache)
+    return runner.run(tasks, on_error=on_error)

@@ -57,6 +57,16 @@ class Histogram:
     def as_dict(self) -> Dict[int, int]:
         return dict(self._counts)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (self.name == other.name
+                and self._counts == other._counts
+                and self._total_weight == other._total_weight
+                and self._weighted_sum == other._weighted_sum)
+
+    __hash__ = None  # type: ignore[assignment] - mutable
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Histogram({self.name}: n={self.count}, mean={self.mean:.2f}, "

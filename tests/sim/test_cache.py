@@ -1,0 +1,180 @@
+"""Content-addressed result cache: key stability, invalidation, codec
+round-trips, and warm-cache reuse with zero re-simulation."""
+
+import dataclasses
+
+import pytest
+
+import repro.sim.cache as cache_mod
+from repro.config import SSTConfig, inorder_machine, sst_machine
+from repro.sim.cache import (
+    ResultCache,
+    cache_enabled_by_env,
+    decode_value,
+    encode_value,
+    result_key,
+)
+from repro.sim.parallel import ParallelRunner, SimTask
+from repro.sim.runner import simulate
+from repro.workloads import hash_join
+from tests.conftest import small_hierarchy_config
+
+
+@pytest.fixture
+def program():
+    return hash_join(table_words=256, probes=48)
+
+
+@pytest.fixture
+def config():
+    return sst_machine(small_hierarchy_config())
+
+
+# ---------------------------------------------------------------------------
+# Key derivation.
+# ---------------------------------------------------------------------------
+
+
+def test_key_is_stable_across_rebuilds(config, program):
+    """Identical inputs rebuilt from scratch hash to the same key."""
+    same_config = sst_machine(small_hierarchy_config())
+    same_program = hash_join(table_words=256, probes=48)
+    assert result_key(config, program, 1000) == \
+        result_key(same_config, same_program, 1000)
+
+
+def test_key_changes_with_any_input(config, program):
+    base = result_key(config, program, 1000)
+    other_config = dataclasses.replace(
+        config, sst=dataclasses.replace(config.sst, dq_size=7))
+    other_program = hash_join(table_words=256, probes=49)
+    assert result_key(other_config, program, 1000) != base
+    assert result_key(config, other_program, 1000) != base
+    assert result_key(config, program, 1001) != base
+
+
+def test_key_changes_with_schema_version(config, program, monkeypatch):
+    base = result_key(config, program, 1000)
+    monkeypatch.setattr(cache_mod, "SIM_SCHEMA_VERSION",
+                        cache_mod.SIM_SCHEMA_VERSION + 1)
+    assert result_key(config, program, 1000) != base
+
+
+def test_canonicalize_distinguishes_types():
+    assert cache_mod.canonicalize(1) != cache_mod.canonicalize("1")
+    assert cache_mod.canonicalize(True) != cache_mod.canonicalize(1)
+    assert cache_mod.canonicalize(1.0) != cache_mod.canonicalize(1)
+    assert cache_mod.canonicalize(None) != cache_mod.canonicalize("none")
+
+
+def test_program_fingerprint_ignores_labels_not_content(program):
+    other = hash_join(table_words=256, probes=48)
+    assert program.fingerprint() == other.fingerprint()
+    different = hash_join(table_words=256, probes=48, seed=99)
+    assert program.fingerprint() != different.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Codec round-trip.
+# ---------------------------------------------------------------------------
+
+
+def test_result_roundtrips_through_codec(config, program):
+    result = simulate(config, program, verify=True)
+    restored = decode_value(encode_value(result))
+    assert restored == result
+    assert restored.extra["sst"] == result.extra["sst"]
+    assert restored.ipc == result.ipc
+
+
+def test_roundtrip_covers_all_core_kinds(program):
+    for machine in (inorder_machine(small_hierarchy_config()),
+                    sst_machine(small_hierarchy_config())):
+        result = simulate(machine, program)
+        assert decode_value(encode_value(result)) == result
+
+
+# ---------------------------------------------------------------------------
+# The on-disk cache.
+# ---------------------------------------------------------------------------
+
+
+def test_store_then_load(tmp_path, config, program):
+    cache = ResultCache(tmp_path)
+    result = simulate(config, program)
+    key = cache.key(config, program, 1_000_000)
+    assert cache.load(key) is None
+    cache.store(key, result)
+    assert len(cache) == 1
+    assert cache.load(key) == result
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_corrupt_entry_is_a_miss(tmp_path, config, program):
+    cache = ResultCache(tmp_path)
+    key = cache.key(config, program, 1000)
+    (tmp_path / f"{key}.json").write_text("{not json")
+    assert cache.load(key) is None
+    assert cache.stats.invalid == 1
+
+
+def test_schema_bump_orphans_old_entries(tmp_path, config, program,
+                                         monkeypatch):
+    cache = ResultCache(tmp_path)
+    result = simulate(config, program)
+    old_key = cache.key(config, program, 1_000_000)
+    cache.store(old_key, result)
+
+    monkeypatch.setattr(cache_mod, "SIM_SCHEMA_VERSION",
+                        cache_mod.SIM_SCHEMA_VERSION + 1)
+    # The new schema addresses a different key entirely...
+    assert cache.key(config, program, 1_000_000) != old_key
+    # ...and even a forced load of the old file refuses the stale schema.
+    assert cache.load(old_key) is None
+    assert cache.stats.invalid == 1
+
+
+def test_clear_removes_entries(tmp_path, config, program):
+    cache = ResultCache(tmp_path)
+    cache.store(cache.key(config, program, 1000),
+                simulate(config, program))
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+def test_cache_enabled_by_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    assert cache_enabled_by_env()
+    for off in ("0", "off", "false", "no"):
+        monkeypatch.setenv("REPRO_CACHE", off)
+        assert not cache_enabled_by_env()
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    assert cache_enabled_by_env()
+
+
+# ---------------------------------------------------------------------------
+# Warm-cache runs do not simulate at all.
+# ---------------------------------------------------------------------------
+
+
+def test_warm_run_does_zero_resimulation(tmp_path, program, monkeypatch):
+    configs = [inorder_machine(small_hierarchy_config()),
+               sst_machine(small_hierarchy_config())]
+    tasks = [SimTask(config=config, program=program) for config in configs]
+
+    cache = ResultCache(tmp_path)
+    cold = ParallelRunner(jobs=1, cache=cache).run(tasks)
+    assert cache.stats.stores == len(tasks)
+
+    # Any attempt to simulate on the warm pass is a test failure.
+    def _boom(*args, **kwargs):
+        raise AssertionError("warm cache run re-simulated a point")
+
+    monkeypatch.setattr("repro.sim.parallel.simulate", _boom)
+    warm_cache = ResultCache(tmp_path)
+    runner = ParallelRunner(jobs=1, cache=warm_cache)
+    outcomes = runner.run_outcomes(tasks)
+    assert all(outcome.cached for outcome in outcomes)
+    assert [outcome.result for outcome in outcomes] == cold
+    assert warm_cache.stats.hits == len(tasks)
+    assert warm_cache.stats.misses == 0

@@ -1,0 +1,170 @@
+"""ParallelRunner: parallel/serial equivalence, ordered collection,
+crash isolation, and the jobs-resolution rules."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.config import (
+    ea_machine,
+    inorder_machine,
+    sst_machine,
+)
+from repro.errors import ConfigError, ExecutionError
+from repro.sim.parallel import (
+    ParallelRunner,
+    SimTask,
+    SimTaskError,
+    resolve_jobs,
+    run_simulations,
+)
+from repro.sim.sweep import sweep, sweep_many
+from repro.workloads import hash_join, pointer_chase
+from tests.conftest import small_hierarchy_config
+
+import dataclasses
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return [hash_join(table_words=256, probes=32),
+            pointer_chase(chains=2, nodes_per_chain=64, hops=40)]
+
+
+def _matrix_tasks(programs):
+    return [
+        SimTask(config=config, program=program)
+        for program in programs
+        for config in (inorder_machine(small_hierarchy_config()),
+                       sst_machine(small_hierarchy_config()),
+                       ea_machine(small_hierarchy_config()))
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: the pool path must be bit-identical to the serial path.
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_results_identical_to_serial(programs):
+    tasks = _matrix_tasks(programs)
+    serial = ParallelRunner(jobs=1).run(tasks)
+    parallel = ParallelRunner(jobs=2).run(tasks)
+    assert len(serial) == len(tasks)
+    for task, a, b in zip(tasks, serial, parallel):
+        assert a == b, f"divergence at {task.label}"
+        assert a.extra == b.extra
+
+
+def test_results_come_back_in_submission_order(programs):
+    tasks = _matrix_tasks(programs)
+    outcomes = ParallelRunner(jobs=2).run_outcomes(tasks)
+    assert [outcome.task for outcome in outcomes] == tasks
+
+
+# ---------------------------------------------------------------------------
+# Crash isolation.
+# ---------------------------------------------------------------------------
+
+
+def test_failing_task_isolated_with_skip(programs):
+    good = SimTask(config=sst_machine(small_hierarchy_config()),
+                   program=programs[0])
+    # An absurdly small budget trips the runaway guard inside the worker.
+    bad = SimTask(config=sst_machine(small_hierarchy_config()),
+                  program=programs[0], max_instructions=10)
+    results = ParallelRunner(jobs=2).run([good, bad, good],
+                                         on_error="skip")
+    assert results[0] is not None and results[2] is not None
+    assert results[1] is None
+    assert results[0] == results[2]
+
+
+def test_failing_task_raises_after_batch(programs):
+    bad = SimTask(config=sst_machine(small_hierarchy_config()),
+                  program=programs[0], max_instructions=10)
+    with pytest.raises(SimTaskError, match="ExecutionError"):
+        run_simulations([bad])
+
+
+def test_failure_detail_names_the_point(programs):
+    bad = SimTask(config=sst_machine(small_hierarchy_config()),
+                  program=programs[0], max_instructions=10)
+    outcomes = ParallelRunner(jobs=1).run_outcomes([bad])
+    assert not outcomes[0].ok
+    assert "ExecutionError" in outcomes[0].error
+    # The underlying guard really is the instruction budget.
+    with pytest.raises(ExecutionError):
+        raise ExecutionError(outcomes[0].error)
+
+
+def test_on_error_validated(programs):
+    task = SimTask(config=inorder_machine(small_hierarchy_config()),
+                   program=programs[0])
+    with pytest.raises(ValueError, match="on_error"):
+        ParallelRunner(jobs=1).run([task], on_error="ignore")
+
+
+# ---------------------------------------------------------------------------
+# Jobs resolution.
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_jobs_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs() == 1
+    assert resolve_jobs(3) == 3
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs() == 5
+    assert resolve_jobs(2) == 2  # explicit argument wins over env
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_JOBS", "four")
+    with pytest.raises(ConfigError, match="REPRO_JOBS"):
+        resolve_jobs()
+
+
+def test_resolve_jobs_inline_inside_daemon(monkeypatch):
+    class FakeProcess:
+        daemon = True
+
+    monkeypatch.setattr(multiprocessing, "current_process",
+                        lambda: FakeProcess())
+    assert resolve_jobs(8) == 1
+
+
+# ---------------------------------------------------------------------------
+# Sweeps ride on the runner.
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_parallel_matches_serial(programs):
+    def make_config(dq_size):
+        base = sst_machine(small_hierarchy_config())
+        return dataclasses.replace(
+            base, sst=dataclasses.replace(base.sst, dq_size=dq_size),
+            name=f"sst-dq{dq_size}")
+
+    axis = [8, 16, 32]
+    serial = sweep(programs[0], axis, make_config, jobs=1)
+    parallel = sweep(programs[0], axis, make_config, jobs=2)
+    assert [tag for tag, _ in serial] == axis
+    assert serial == parallel
+
+
+def test_sweep_many_forwards_verify(programs, monkeypatch):
+    """Regression: sweep_many used to drop the verify flag silently."""
+    seen = []
+    import repro.sim.parallel as parallel_mod
+    real_simulate = parallel_mod.simulate
+
+    def recording_simulate(config, program, *, verify=False, **kwargs):
+        seen.append(verify)
+        return real_simulate(config, program, verify=verify, **kwargs)
+
+    monkeypatch.setattr(parallel_mod, "simulate", recording_simulate)
+    out = sweep_many(programs[:1], [8, 16],
+                     lambda dq: sst_machine(small_hierarchy_config()),
+                     verify=True, jobs=1)
+    assert seen == [True, True]
+    assert len(out[programs[0].name]) == 2
