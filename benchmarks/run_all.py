@@ -19,6 +19,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import multiprocessing
 import os
 import pathlib
@@ -29,6 +30,11 @@ import traceback
 from typing import List, Optional, Tuple
 
 BENCH_DIR = pathlib.Path(__file__).parent
+
+# Committed simulator-throughput baseline for --perf-smoke (see
+# perf_report.py).  Regressions beyond the tolerance fail the run.
+PERF_BASELINE_PATH = BENCH_DIR / "BENCH_smoke.json"
+PERF_REGRESSION_TOLERANCE = 0.30
 
 
 def discover() -> List[str]:
@@ -70,6 +76,56 @@ def _run_one(module_name: str) -> Tuple[str, float, Optional[str]]:
     return experiment_name, time.perf_counter() - start, None
 
 
+def run_perf_smoke() -> int:
+    """Measure simulator throughput (tiny scale) against the committed
+    ``BENCH_smoke.json`` baseline.
+
+    The fresh snapshot always replaces the file — ``git diff`` shows the
+    trajectory, and committing it records a new baseline.  The previous
+    (committed) numbers are read *before* the overwrite and the run
+    fails if aggregate insts/host-second dropped by more than
+    :data:`PERF_REGRESSION_TOLERANCE`.
+    """
+    os.environ["REPRO_BENCH_SMOKE"] = "1"
+    for path in (BENCH_DIR, BENCH_DIR.parent / "src"):
+        if str(path) not in sys.path:
+            sys.path.insert(0, str(path))
+    import perf_report
+
+    baseline = None
+    try:
+        baseline = json.loads(PERF_BASELINE_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        pass
+
+    payload = perf_report.measure(tag="smoke")
+    print(perf_report.render(payload))
+    perf_report.write_report(payload, PERF_BASELINE_PATH)
+    print(f"wrote {PERF_BASELINE_PATH}")
+
+    if baseline is None:
+        print("no committed baseline found; snapshot recorded, "
+              "nothing to compare")
+        return 0
+    try:
+        old = baseline["aggregate"]["total"]["insts_per_host_second"]
+    except (KeyError, TypeError):
+        print("committed baseline is unreadable; snapshot recorded")
+        return 0
+    new = payload["aggregate"]["total"]["insts_per_host_second"]
+    if not old or not new:
+        return 0
+    ratio = new / old
+    print(f"throughput vs committed baseline: {ratio:.2f}x "
+          f"({old} -> {new} insts/host-sec)")
+    if ratio < 1.0 - PERF_REGRESSION_TOLERANCE:
+        print(f"FAIL: simulator throughput regressed more than "
+              f"{PERF_REGRESSION_TOLERANCE:.0%} vs the committed "
+              f"baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the benchmark suite (tables land in "
@@ -86,7 +142,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated experiment prefixes to run")
     parser.add_argument("--max-instructions", type=int, default=None,
                         help="override the per-run instruction budget")
+    parser.add_argument("--perf-smoke", action="store_true",
+                        help="measure simulator throughput on the tiny "
+                             "suite, rewrite benchmarks/BENCH_smoke.json, "
+                             "and fail on a >30%% regression vs the "
+                             "committed baseline")
     args = parser.parse_args(argv)
+
+    if args.perf_smoke:
+        return run_perf_smoke()
 
     # Environment must be fixed before any worker forks (common.py reads
     # it at import time, which happens inside the workers).

@@ -11,11 +11,19 @@ standard in-order design and also what ROCK's non-speculative pipeline
 does.  A mispredicted branch redirects the front end after the
 configured penalty.
 
+The clock is a :class:`repro.core.timing.IssueClock`: stalls are never
+ticked through cycle by cycle — the clock jumps straight to the wake
+event (operand ready, fetch completion, redirect target) and the
+skipped span is recorded in the run's :class:`PerfCounters`, which ride
+out on ``CoreResult.extra["perf"]``.
+
 This core *is* the degenerate SST configuration with zero checkpoints;
 `tests/integration` asserts the two agree.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.baselines.core_base import (
     Core,
@@ -24,10 +32,11 @@ from repro.baselines.core_base import (
 )
 from repro.branch import BranchUnit
 from repro.config import InOrderConfig
+from repro.core.timing import IssueClock, PerfCounters
 from repro.isa.opcodes import OpClass
 from repro.isa.program import Program
 from repro.isa.registers import REG_COUNT, ZERO_REG
-from repro.isa.semantics import branch_taken, compute_value, effective_address
+from repro.isa.semantics import MASK64
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.request import AccessType
 
@@ -42,11 +51,52 @@ class InOrderCore(Core):
         self.branch_unit = BranchUnit(config.predictor)
 
     def run(self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> CoreResult:
+        started = time.perf_counter()
         state = self.state
         program = self.program
-        width = self.config.width
         latencies = self.config.latencies
-        model_ifetch = self.hierarchy.config.model_ifetch
+        hierarchy = self.hierarchy
+        branch_unit = self.branch_unit
+        model_ifetch = hierarchy.config.model_ifetch
+
+        # Everything touched per instruction is bound into locals: the
+        # issue loop below runs tens of millions of times per benchmark
+        # point and attribute hops dominate otherwise.
+        insts = program.instructions
+        n_insts = len(insts)
+        # Direct register-file indexing: writes below guard the zero
+        # register, so ``regs[0]`` is invariantly 0 and reads need no
+        # special case (ArchState.read_reg's contract, without the call).
+        regs = state.regs
+        mem_read = state.memory.read
+        mem_write = state.memory.write
+        ifetch = hierarchy.ifetch
+        data_access = hierarchy.data_access
+        do_prefetch = hierarchy.prefetch
+        resolve_cond = branch_unit.resolve_cond
+        resolve_indirect = branch_unit.resolve_indirect
+        push_return = branch_unit.push_return
+        mispredict_penalty = branch_unit.mispredict_penalty
+        is_call = self.is_call
+        is_return = self.is_return
+        lat_alu = latencies.alu
+        lat_mul = latencies.mul
+        lat_div = latencies.div
+        CLS_ALU = OpClass.ALU
+        CLS_MUL = OpClass.MUL
+        CLS_DIV = OpClass.DIV
+        CLS_LOAD = OpClass.LOAD
+        CLS_STORE = OpClass.STORE
+        CLS_PREFETCH = OpClass.PREFETCH
+        CLS_BRANCH = OpClass.BRANCH
+        CLS_JUMP = OpClass.JUMP
+        CLS_JUMP_INDIRECT = OpClass.JUMP_INDIRECT
+        CLS_BARRIER = OpClass.BARRIER
+        CLS_NOP = OpClass.NOP
+        CLS_HALT = OpClass.HALT
+        ARITH = (CLS_ALU, CLS_MUL, CLS_DIV)
+        ACC_LOAD = AccessType.LOAD
+        ACC_STORE = AccessType.STORE
 
         reg_ready = [0] * REG_COUNT
         # What produced each register's pending value — the CPI stack
@@ -54,38 +104,31 @@ class InOrderCore(Core):
         reg_producer = ["compute"] * REG_COUNT
         stalls = {"memory": 0, "long_op": 0, "compute": 0, "fetch": 0,
                   "branch": 0, "drain": 0}
-        cycle = 0  # cycle currently accepting issue
-        slots_used = 0
+        # The CPI stack *is* the perf-counter stall attribution: one
+        # dict, shared, so the two views cannot drift apart.
+        perf = PerfCounters(stall_cycles=stalls)
+        clock = IssueClock(self.config.width, perf)
+        issue_at = clock.issue_at
+        advance_to = clock.advance_to
         executed = 0
         last_store_done = 0  # for MEMBAR draining
 
-        def issue_at(earliest: int) -> int:
-            """Claim the next issue slot at or after ``earliest``."""
-            nonlocal cycle, slots_used
-            if earliest > cycle:
-                cycle = earliest
-                slots_used = 0
-            slot_cycle = cycle
-            slots_used += 1
-            if slots_used >= width:
-                cycle += 1
-                slots_used = 0
-            return slot_cycle
-
         pc = 0
         while True:
-            self._check_budget(executed, max_instructions)
-            self._check_pc(pc)
-            inst = program[pc]
-            op = inst.op
+            if executed >= max_instructions:
+                self._check_budget(executed, max_instructions)
+            if pc < 0 or pc >= n_insts:
+                self._check_pc(pc)
+            inst = insts[pc]
             cls = inst.op_class
 
+            cycle = clock.cycle
             earliest = cycle
             stall_reason = None
             if model_ifetch:
-                fetch = self.hierarchy.ifetch(pc, cycle)
-                if fetch.ready_cycle > earliest:
-                    earliest = fetch.ready_cycle
+                fetch_ready = ifetch(pc, cycle).ready_cycle
+                if fetch_ready > earliest:
+                    earliest = fetch_ready
                     stall_reason = "fetch"
             for src in inst.sources:
                 if reg_ready[src] > earliest:
@@ -94,7 +137,7 @@ class InOrderCore(Core):
             if stall_reason is not None and earliest > cycle:
                 stalls[stall_reason] += earliest - cycle
 
-            if cls is OpClass.HALT:
+            if cls is CLS_HALT:
                 executed += 1
                 final_cycle = max(earliest, max(reg_ready), last_store_done)
                 total = max(final_cycle, 1)
@@ -107,97 +150,88 @@ class InOrderCore(Core):
                     instructions=executed,
                     state=state,
                     extra={
-                        "branch": self.branch_unit.stats,
-                        "hierarchy": self.hierarchy.stats,
-                        "l1d": self.hierarchy.l1d.stats,
-                        "l2": self.hierarchy.l2.stats,
+                        "branch": branch_unit.stats,
+                        "hierarchy": hierarchy.stats,
+                        "l1d": hierarchy.l1d.stats,
+                        "l2": hierarchy.l2.stats,
                         "cpi_stack": cpi_stack,
+                        "perf": perf,
                     },
+                    wall_seconds=time.perf_counter() - started,
                 )
 
             slot = issue_at(earliest)
             executed += 1
             next_pc = pc + 1
 
-            if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
-                a = state.read_reg(inst.rs1)
-                b = state.read_reg(inst.rs2)
-                state.write_reg(inst.rd, compute_value(inst, a, b))
+            if cls in ARITH:
+                a = regs[inst.rs1]
+                fn = inst.alu_fn
+                value = (fn(a, inst.imm) if inst.alu_uses_imm
+                         else fn(a, regs[inst.rs2]))
                 if inst.rd != ZERO_REG:
-                    reg_ready[inst.rd] = slot + self.op_latency(cls, latencies)
-                    reg_producer[inst.rd] = (
-                        "compute" if cls is OpClass.ALU else "long_op"
-                    )
-            elif cls is OpClass.LOAD:
-                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
-                state.write_reg(inst.rd, state.memory.read(addr))
-                result = self.hierarchy.data_access(
-                    addr, slot, AccessType.LOAD, pc=pc
-                )
+                    regs[inst.rd] = value
+                    if cls is CLS_ALU:
+                        reg_ready[inst.rd] = slot + lat_alu
+                        reg_producer[inst.rd] = "compute"
+                    else:
+                        reg_ready[inst.rd] = slot + (
+                            lat_mul if cls is CLS_MUL else lat_div
+                        )
+                        reg_producer[inst.rd] = "long_op"
+            elif cls is CLS_LOAD:
+                addr = (regs[inst.rs1] + inst.imm) & MASK64
+                value = mem_read(addr)
+                result = data_access(addr, slot, ACC_LOAD, pc=pc)
                 if inst.rd != ZERO_REG:
+                    regs[inst.rd] = value
                     reg_ready[inst.rd] = result.ready_cycle
                     reg_producer[inst.rd] = "memory"
-            elif cls is OpClass.STORE:
-                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
-                state.memory.write(addr, state.read_reg(inst.rs2))
-                result = self.hierarchy.data_access(
-                    addr, slot, AccessType.STORE, pc=pc
-                )
-                last_store_done = max(last_store_done, result.ready_cycle)
-            elif cls is OpClass.PREFETCH:
-                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
-                self.hierarchy.prefetch(addr, slot)
-            elif cls is OpClass.BRANCH:
-                taken = branch_taken(
-                    op, state.read_reg(inst.rs1), state.read_reg(inst.rs2)
-                )
-                mispredicted = self.branch_unit.resolve_cond(pc, taken)
+            elif cls is CLS_STORE:
+                addr = (regs[inst.rs1] + inst.imm) & MASK64
+                mem_write(addr, regs[inst.rs2])
+                result = data_access(addr, slot, ACC_STORE, pc=pc)
+                if result.ready_cycle > last_store_done:
+                    last_store_done = result.ready_cycle
+            elif cls is CLS_PREFETCH:
+                addr = (regs[inst.rs1] + inst.imm) & MASK64
+                do_prefetch(addr, slot)
+            elif cls is CLS_BRANCH:
+                taken = inst.branch_fn(regs[inst.rs1], regs[inst.rs2])
+                mispredicted = resolve_cond(pc, taken)
                 if taken:
                     next_pc = inst.target
                 if mispredicted:
-                    resolve = slot + latencies.alu
-                    redirect = resolve + self.branch_unit.mispredict_penalty
-                    if redirect > cycle:
-                        stalls["branch"] += redirect - cycle
-                        cycle = redirect
-                        slots_used = 0
-            elif cls is OpClass.JUMP:
-                state.write_reg(inst.rd, pc + 1)
+                    advance_to(slot + lat_alu + mispredict_penalty, "branch")
+            elif cls is CLS_JUMP:
                 if inst.rd != ZERO_REG:
+                    regs[inst.rd] = pc + 1
                     reg_ready[inst.rd] = slot + 1
                     reg_producer[inst.rd] = "compute"
-                if self.is_call(inst):
-                    self.branch_unit.push_return(pc + 1)
+                if is_call(inst):
+                    push_return(pc + 1)
                 next_pc = inst.target
-            elif cls is OpClass.JUMP_INDIRECT:
-                target = effective_address(state.read_reg(inst.rs1), inst.imm)
+            elif cls is CLS_JUMP_INDIRECT:
+                target = (regs[inst.rs1] + inst.imm) & MASK64
                 self._check_pc(target)
-                mispredicted = self.branch_unit.resolve_indirect(
-                    pc, target, is_return=self.is_return(inst)
+                mispredicted = resolve_indirect(
+                    pc, target, is_return=is_return(inst)
                 )
-                state.write_reg(inst.rd, pc + 1)
                 if inst.rd != ZERO_REG:
+                    regs[inst.rd] = pc + 1
                     reg_ready[inst.rd] = slot + 1
                     reg_producer[inst.rd] = "compute"
-                if self.is_call(inst):
-                    self.branch_unit.push_return(pc + 1)
+                if is_call(inst):
+                    push_return(pc + 1)
                 next_pc = target
                 if mispredicted:
-                    resolve = slot + latencies.alu
-                    redirect = resolve + self.branch_unit.mispredict_penalty
-                    if redirect > cycle:
-                        stalls["branch"] += redirect - cycle
-                        cycle = redirect
-                        slots_used = 0
-            elif cls is OpClass.BARRIER:
+                    advance_to(slot + lat_alu + mispredict_penalty, "branch")
+            elif cls is CLS_BARRIER:
                 drain = max(max(reg_ready), last_store_done)
-                if drain > cycle:
-                    stalls["drain"] += drain - cycle
-                    cycle = drain
-                    slots_used = 0
-            elif cls is OpClass.NOP:
+                advance_to(drain, "drain")
+            elif cls is CLS_NOP:
                 pass
             else:  # pragma: no cover - exhaustiveness guard
-                raise AssertionError(f"unhandled opcode {op}")
+                raise AssertionError(f"unhandled opcode {inst.op}")
 
             pc = next_pc

@@ -18,6 +18,14 @@ rename + ROB + issue-queue + LSQ machine:
 * **Branches** resolve at execute; a mispredict stalls fetch until
   resolution plus the redirect penalty.
 
+The model is event-driven by construction — every structure hands back
+the *cycle* a resource frees rather than being polled — so the clock
+only ever lands on cycles where something happens.  A run's
+:class:`~repro.core.timing.PerfCounters` (``extra["perf"]``) report the
+distinct commit cycles actually visited vs. the span jumped over, plus
+per-cause wait attribution (operand, issue port, window occupancy,
+memory ordering).
+
 Like every core here it executes functionally, so final architectural
 state is checked against the golden interpreter.
 """
@@ -25,6 +33,8 @@ state is checked against the golden interpreter.
 from __future__ import annotations
 
 import dataclasses
+import time
+from collections import defaultdict, deque
 from typing import Dict
 
 from repro.baselines.core_base import (
@@ -32,17 +42,13 @@ from repro.baselines.core_base import (
     CoreResult,
     DEFAULT_MAX_INSTRUCTIONS,
 )
-from repro.baselines.ooo.structures import (
-    BandwidthAllocator,
-    IssuePortAllocator,
-    OccupancyWindow,
-)
 from repro.branch import BranchUnit
 from repro.config import OoOConfig
+from repro.core.timing import PerfCounters
 from repro.isa.opcodes import OpClass
 from repro.isa.program import Program
-from repro.isa.registers import REG_COUNT, ZERO_REG
-from repro.isa.semantics import branch_taken, compute_value, effective_address
+from repro.isa.registers import REG_COUNT
+from repro.isa.semantics import MASK64
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.request import AccessType
 
@@ -68,18 +74,83 @@ class OoOCore(Core):
         self.stats = OoOStats()
 
     def run(self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> CoreResult:
+        started = time.perf_counter()
         config = self.config
         state = self.state
         program = self.program
         latencies = config.latencies
-        model_ifetch = self.hierarchy.config.model_ifetch
+        hierarchy = self.hierarchy
+        branch_unit = self.branch_unit
+        model_ifetch = hierarchy.config.model_ifetch
 
-        fetch = BandwidthAllocator(config.fetch_width)
-        issue = IssuePortAllocator(config.issue_width)
-        commit = BandwidthAllocator(config.commit_width)
-        rob = OccupancyWindow(config.rob_size, "rob")
-        iq = OccupancyWindow(config.iq_size, "iq")
-        lsq = OccupancyWindow(config.lsq_size, "lsq")
+        # Structural-hazard state, inlined from
+        # :mod:`repro.baselines.ooo.structures` (BandwidthAllocator,
+        # IssuePortAllocator, OccupancyWindow): each primitive is a
+        # handful of integer operations, so at one call per structure
+        # per dynamic instruction the call overhead dominated the work.
+        # The semantics here must stay in lockstep with that module —
+        # the structures tests are the executable spec.
+        fetch_width = config.fetch_width
+        fetch_cursor = 0  # forward-moving bandwidth cursor
+        fetch_used = 0
+        commit_width = config.commit_width
+        commit_cursor = 0
+        commit_used = 0
+        issue_width = config.issue_width
+        issue_used = defaultdict(int)  # cycle -> issue ports claimed
+        rob_size = config.rob_size
+        iq_size = config.iq_size
+        lsq_size = config.lsq_size
+        rob_releases: deque = deque()
+        iq_releases: deque = deque()
+        lsq_releases: deque = deque()
+        rob_full_stalls = rob_stall_cycles = 0
+        iq_full_stalls = iq_stall_cycles = 0
+        lsq_full_stalls = lsq_stall_cycles = 0
+
+        # Hot-loop locals (see inorder.py): one dynamic instruction per
+        # iteration, tens of millions of iterations per point.
+        insts = program.instructions
+        n_insts = len(insts)
+        # Direct register-file indexing: writes below guard the zero
+        # register, so ``regs[0]`` is invariantly 0 and reads need no
+        # special case (ArchState.read_reg's contract, without the call).
+        regs = state.regs
+        mem_read = state.memory.read
+        mem_write = state.memory.write
+        ifetch = hierarchy.ifetch
+        data_access = hierarchy.data_access
+        do_prefetch = hierarchy.prefetch
+        resolve_cond = branch_unit.resolve_cond
+        resolve_indirect = branch_unit.resolve_indirect
+        push_return = branch_unit.push_return
+        mispredict_penalty = branch_unit.mispredict_penalty
+        is_call = self.is_call
+        is_return = self.is_return
+        rob_pop = rob_releases.popleft
+        rob_append = rob_releases.append
+        iq_pop = iq_releases.popleft
+        iq_append = iq_releases.append
+        lsq_pop = lsq_releases.popleft
+        lsq_append = lsq_releases.append
+        lat_alu = latencies.alu
+        lat_mul = latencies.mul
+        lat_div = latencies.div
+        perfect_disambiguation = config.perfect_disambiguation
+        CLS_ALU = OpClass.ALU
+        CLS_MUL = OpClass.MUL
+        CLS_DIV = OpClass.DIV
+        CLS_LOAD = OpClass.LOAD
+        CLS_STORE = OpClass.STORE
+        CLS_PREFETCH = OpClass.PREFETCH
+        CLS_BRANCH = OpClass.BRANCH
+        CLS_JUMP = OpClass.JUMP
+        CLS_JUMP_INDIRECT = OpClass.JUMP_INDIRECT
+        CLS_BARRIER = OpClass.BARRIER
+        CLS_HALT = OpClass.HALT
+        ARITH = (CLS_ALU, CLS_MUL, CLS_DIV)
+        ACC_LOAD = AccessType.LOAD
+        ACC_STORE = AccessType.STORE
 
         # Completion time of the last writer of each architectural reg.
         reg_complete = [0] * REG_COUNT
@@ -93,24 +164,57 @@ class OoOCore(Core):
         executed = 0
         pc = 0
 
+        # Observability (never feeds back into timing).  Window-full
+        # attribution comes for free from the OccupancyWindows at HALT;
+        # the waits measured here are per-instruction and may overlap in
+        # time, so they are a *attribution* of waiting, not a partition
+        # of the cycle count.
+        stalls = {"operand": 0, "issue_port": 0, "mem_order": 0}
+        perf = PerfCounters(stall_cycles=stalls)
+        dispatched = 0
+        load_forwards = 0
+        branch_redirect_cycles = 0
+        commit_cycles_stepped = 0
+        last_commit_cycle_seen = -1
+
         while True:
-            self._check_budget(executed, max_instructions)
-            self._check_pc(pc)
-            inst = program[pc]
+            if executed >= max_instructions:
+                self._check_budget(executed, max_instructions)
+            if pc < 0 or pc >= n_insts:
+                self._check_pc(pc)
+            inst = insts[pc]
             cls = inst.op_class
             executed += 1
 
             # ---- front end -------------------------------------------
             earliest_fetch = fetch_barrier
             if model_ifetch:
-                probe = fetch.peek(earliest_fetch)
-                earliest_fetch = max(
-                    earliest_fetch, self.hierarchy.ifetch(pc, probe).ready_cycle
-                )
-            fetch_slot = fetch.claim(earliest_fetch)
+                probe = (earliest_fetch if earliest_fetch > fetch_cursor
+                         else fetch_cursor)
+                fetch_ready = ifetch(pc, probe).ready_cycle
+                if fetch_ready > earliest_fetch:
+                    earliest_fetch = fetch_ready
+            if earliest_fetch > fetch_cursor:
+                fetch_cursor = earliest_fetch
+                fetch_used = 0
+            fetch_slot = fetch_cursor
+            fetch_used += 1
+            if fetch_used >= fetch_width:
+                fetch_cursor += 1
+                fetch_used = 0
 
-            if cls is OpClass.HALT:
+            if cls is CLS_HALT:
                 cycles = max(last_commit, fetch_slot, 1)
+                stats = self.stats
+                stats.dispatched = dispatched
+                stats.load_forwards = load_forwards
+                stats.branch_redirect_cycles = branch_redirect_cycles
+                stalls["rob"] = rob_stall_cycles
+                stalls["iq"] = iq_stall_cycles
+                stalls["lsq"] = lsq_stall_cycles
+                stalls["branch"] = branch_redirect_cycles
+                perf.cycles_stepped = commit_cycles_stepped
+                perf.cycles_skipped = max(cycles - commit_cycles_stepped, 0)
                 return CoreResult(
                     core_name=self.name,
                     program_name=program.name,
@@ -118,129 +222,194 @@ class OoOCore(Core):
                     instructions=executed,
                     state=state,
                     extra={
-                        "ooo": self.stats,
-                        "branch": self.branch_unit.stats,
-                        "hierarchy": self.hierarchy.stats,
-                        "l1d": self.hierarchy.l1d.stats,
-                        "l2": self.hierarchy.l2.stats,
-                        "rob": rob.occupancy_stats(),
-                        "iq": iq.occupancy_stats(),
-                        "lsq": lsq.occupancy_stats(),
+                        "ooo": stats,
+                        "branch": branch_unit.stats,
+                        "hierarchy": hierarchy.stats,
+                        "l1d": hierarchy.l1d.stats,
+                        "l2": hierarchy.l2.stats,
+                        "rob": {"full_stalls": rob_full_stalls,
+                                "stall_cycles": rob_stall_cycles},
+                        "iq": {"full_stalls": iq_full_stalls,
+                               "stall_cycles": iq_stall_cycles},
+                        "lsq": {"full_stalls": lsq_full_stalls,
+                                "stall_cycles": lsq_stall_cycles},
+                        "perf": perf,
                     },
+                    wall_seconds=time.perf_counter() - started,
                 )
 
             # ---- dispatch (ROB/IQ/LSQ occupancy) ---------------------
-            dispatch = rob.allocate(fetch_slot)
-            dispatch = iq.allocate(dispatch)
-            if cls in (OpClass.LOAD, OpClass.STORE):
-                dispatch = lsq.allocate(dispatch)
-            self.stats.dispatched += 1
+            dispatch = fetch_slot
+            if len(rob_releases) >= rob_size:
+                blocking = rob_releases[0]
+                if blocking > dispatch:
+                    rob_full_stalls += 1
+                    rob_stall_cycles += blocking - dispatch
+                    dispatch = blocking
+                rob_pop()
+            if len(iq_releases) >= iq_size:
+                blocking = iq_releases[0]
+                if blocking > dispatch:
+                    iq_full_stalls += 1
+                    iq_stall_cycles += blocking - dispatch
+                    dispatch = blocking
+                iq_pop()
+            if cls is CLS_LOAD or cls is CLS_STORE:
+                if len(lsq_releases) >= lsq_size:
+                    blocking = lsq_releases[0]
+                    if blocking > dispatch:
+                        lsq_full_stalls += 1
+                        lsq_stall_cycles += blocking - dispatch
+                        dispatch = blocking
+                    lsq_pop()
+            dispatched += 1
 
             # ---- operand readiness -----------------------------------
             ready = dispatch
             for src in inst.sources:
                 if reg_complete[src] > ready:
                     ready = reg_complete[src]
+            if ready > dispatch:
+                stalls["operand"] += ready - dispatch
 
             next_pc = pc + 1
             addr = None
-            if cls is OpClass.LOAD:
+            if cls is CLS_LOAD:
+                ordered = ready
+                if mem_order_barrier > ordered:
+                    ordered = mem_order_barrier
+                if not perfect_disambiguation:
+                    if latest_store_ready > ordered:
+                        ordered = latest_store_ready
+                if ordered > ready:
+                    stalls["mem_order"] += ordered - ready
+                    ready = ordered
+            elif cls is CLS_STORE:
                 if mem_order_barrier > ready:
-                    ready = mem_order_barrier
-                if not config.perfect_disambiguation:
-                    if latest_store_ready > ready:
-                        ready = latest_store_ready
-            elif cls is OpClass.STORE:
-                if mem_order_barrier > ready:
+                    stalls["mem_order"] += mem_order_barrier - ready
                     ready = mem_order_barrier
 
-            slot = issue.claim(ready)
+            slot = ready
+            while issue_used[slot] >= issue_width:
+                slot += 1
+            issue_used[slot] += 1
+            if slot > ready:
+                stalls["issue_port"] += slot - ready
 
             # ---- execute (functional + completion time) --------------
-            if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
-                a = state.read_reg(inst.rs1)
-                b = state.read_reg(inst.rs2)
-                state.write_reg(inst.rd, compute_value(inst, a, b))
-                complete = slot + self.op_latency(cls, latencies)
-            elif cls is OpClass.LOAD:
-                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
-                state.write_reg(inst.rd, state.memory.read(addr))
+            if cls in ARITH:
+                a = regs[inst.rs1]
+                fn = inst.alu_fn
+                value = (fn(a, inst.imm) if inst.alu_uses_imm
+                         else fn(a, regs[inst.rs2]))
+                if inst.rd:
+                    regs[inst.rd] = value
+                if cls is CLS_ALU:
+                    complete = slot + lat_alu
+                else:
+                    complete = slot + (lat_mul if cls is CLS_MUL else lat_div)
+            elif cls is CLS_LOAD:
+                addr = (regs[inst.rs1] + inst.imm) & MASK64
+                value = mem_read(addr)
+                if inst.rd:
+                    regs[inst.rd] = value
                 inflight = store_inflight.get(addr)
-                result = self.hierarchy.data_access(
-                    addr, slot, AccessType.LOAD, pc=pc
-                )
+                result = data_access(addr, slot, ACC_LOAD, pc=pc)
                 complete = result.ready_cycle
                 if inflight is not None and inflight[1] > slot:
                     # Youngest same-address store not yet committed:
                     # forward from the LSQ instead of the cache.
-                    self.stats.load_forwards += 1
-                    complete = max(slot + FORWARD_LATENCY, inflight[0])
-                last_mem_complete = max(last_mem_complete, complete)
-            elif cls is OpClass.STORE:
-                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
-                state.memory.write(addr, state.read_reg(inst.rs2))
+                    load_forwards += 1
+                    forward = slot + FORWARD_LATENCY
+                    complete = forward if forward > inflight[0] else inflight[0]
+                if complete > last_mem_complete:
+                    last_mem_complete = complete
+            elif cls is CLS_STORE:
+                addr = (regs[inst.rs1] + inst.imm) & MASK64
+                mem_write(addr, regs[inst.rs2])
                 complete = slot + 1  # address+data staged in the LSQ
-                latest_store_ready = max(latest_store_ready, slot)
-                last_mem_complete = max(last_mem_complete, complete)
-            elif cls is OpClass.PREFETCH:
-                target = effective_address(state.read_reg(inst.rs1), inst.imm)
-                self.hierarchy.prefetch(target, slot)
+                if slot > latest_store_ready:
+                    latest_store_ready = slot
+                if complete > last_mem_complete:
+                    last_mem_complete = complete
+            elif cls is CLS_PREFETCH:
+                target = (regs[inst.rs1] + inst.imm) & MASK64
+                do_prefetch(target, slot)
                 complete = slot + 1
-            elif cls is OpClass.BRANCH:
-                taken = branch_taken(
-                    inst.op, state.read_reg(inst.rs1), state.read_reg(inst.rs2)
-                )
-                mispredicted = self.branch_unit.resolve_cond(pc, taken)
-                complete = slot + latencies.alu
+            elif cls is CLS_BRANCH:
+                taken = inst.branch_fn(regs[inst.rs1], regs[inst.rs2])
+                mispredicted = resolve_cond(pc, taken)
+                complete = slot + lat_alu
                 if taken:
                     next_pc = inst.target
                 if mispredicted:
-                    redirect = complete + self.branch_unit.mispredict_penalty
-                    self.stats.branch_redirect_cycles += max(
-                        0, redirect - fetch.peek(fetch_barrier)
-                    )
-                    fetch_barrier = max(fetch_barrier, redirect)
-            elif cls is OpClass.JUMP:
-                state.write_reg(inst.rd, pc + 1)
-                if self.is_call(inst):
-                    self.branch_unit.push_return(pc + 1)
+                    redirect = complete + mispredict_penalty
+                    peek = (fetch_barrier if fetch_barrier > fetch_cursor
+                            else fetch_cursor)
+                    lost = redirect - peek
+                    if lost > 0:
+                        branch_redirect_cycles += lost
+                    if redirect > fetch_barrier:
+                        fetch_barrier = redirect
+            elif cls is CLS_JUMP:
+                if inst.rd:
+                    regs[inst.rd] = pc + 1
+                if is_call(inst):
+                    push_return(pc + 1)
                 next_pc = inst.target
                 complete = slot + 1
-            elif cls is OpClass.JUMP_INDIRECT:
-                target = effective_address(state.read_reg(inst.rs1), inst.imm)
+            elif cls is CLS_JUMP_INDIRECT:
+                target = (regs[inst.rs1] + inst.imm) & MASK64
                 self._check_pc(target)
-                mispredicted = self.branch_unit.resolve_indirect(
-                    pc, target, is_return=self.is_return(inst)
+                mispredicted = resolve_indirect(
+                    pc, target, is_return=is_return(inst)
                 )
-                state.write_reg(inst.rd, pc + 1)
-                if self.is_call(inst):
-                    self.branch_unit.push_return(pc + 1)
+                if inst.rd:
+                    regs[inst.rd] = pc + 1
+                if is_call(inst):
+                    push_return(pc + 1)
                 next_pc = target
-                complete = slot + latencies.alu
+                complete = slot + lat_alu
                 if mispredicted:
-                    redirect = complete + self.branch_unit.mispredict_penalty
-                    fetch_barrier = max(fetch_barrier, redirect)
-            elif cls is OpClass.BARRIER:
-                complete = max(slot, last_mem_complete)
-                mem_order_barrier = max(mem_order_barrier, complete)
+                    redirect = complete + mispredict_penalty
+                    if redirect > fetch_barrier:
+                        fetch_barrier = redirect
+            elif cls is CLS_BARRIER:
+                complete = slot if slot > last_mem_complete else last_mem_complete
+                if complete > mem_order_barrier:
+                    mem_order_barrier = complete
             else:  # NOP
                 complete = slot + 1
 
-            if inst.writes_reg and inst.rd != ZERO_REG:
+            if inst.writes_reg and inst.rd:
                 reg_complete[inst.rd] = complete
 
             # ---- commit (in order) -----------------------------------
-            commit_time = commit.claim(max(complete + 1, last_commit))
-            last_commit = max(last_commit, commit_time)
-            rob.retire(commit_time)
-            iq.retire(slot)
-            if cls in (OpClass.LOAD, OpClass.STORE):
-                lsq.retire(commit_time)
-                if cls is OpClass.STORE and addr is not None:
+            commit_floor = complete + 1
+            if last_commit > commit_floor:
+                commit_floor = last_commit
+            if commit_floor > commit_cursor:
+                commit_cursor = commit_floor
+                commit_used = 0
+            commit_time = commit_cursor
+            commit_used += 1
+            if commit_used >= commit_width:
+                commit_cursor += 1
+                commit_used = 0
+            if commit_time > last_commit:
+                last_commit = commit_time
+            if commit_time != last_commit_cycle_seen:
+                last_commit_cycle_seen = commit_time
+                commit_cycles_stepped += 1
+            rob_append(commit_time)
+            iq_append(slot)
+            if cls is CLS_LOAD:
+                lsq_append(commit_time)
+            elif cls is CLS_STORE:
+                lsq_append(commit_time)
+                if addr is not None:
                     store_inflight[addr] = (complete, commit_time)
                     # Store drains to the cache after commit.
-                    self.hierarchy.data_access(
-                        addr, commit_time, AccessType.STORE, pc=pc
-                    )
+                    data_access(addr, commit_time, ACC_STORE, pc=pc)
 
             pc = next_pc

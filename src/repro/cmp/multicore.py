@@ -34,6 +34,9 @@ class MulticoreResult:
 
     per_core: List[CoreResult]
     quantum: int
+    # Scheduler observability: idle quanta the scheduler telescoped into
+    # single clock jumps instead of advancing quantum by quantum.
+    idle_quanta_skipped: int = 0
 
     @property
     def cores(self) -> int:
@@ -88,6 +91,8 @@ class Multicore:
         heapq.heapify(heap)
         results: List[Optional[CoreResult]] = [None] * len(self.cores)
         remaining = len(self.cores)
+        quantum = self.quantum
+        skipped_quanta = 0
         while remaining:
             clock, index = heapq.heappop(heap)
             core = self.cores[index]
@@ -95,7 +100,24 @@ class Multicore:
                 raise ConfigError(
                     f"core {index} exceeded max_cycles={max_cycles}"
                 )
-            halted = core.advance(clock + self.quantum, max_instructions)
+            until = clock + quantum
+            if max_cycles is None:
+                hint = core.next_event_hint
+                if hint > until:
+                    # The core cannot issue, commit, or touch the shared
+                    # hierarchy before ``hint``: telescope the idle
+                    # quanta into one clock jump.  The jump lands on the
+                    # exact lockstep boundary the quantum-by-quantum
+                    # schedule would reach (``clock + k*quantum``) and
+                    # performs zero shared-hierarchy accesses, so the
+                    # cross-core access interleaving — and therefore
+                    # every simulated cycle count — is unchanged.
+                    # (Disabled under ``max_cycles``, which is checked
+                    # at every quantum boundary.)
+                    skip = (hint - clock) // quantum
+                    until = clock + skip * quantum
+                    skipped_quanta += skip - 1
+            halted = core.advance(until, max_instructions)
             if halted:
                 result = core.finalize()
                 result.core_name = f"core{index}-{core.config.mode_name}"
@@ -103,4 +125,5 @@ class Multicore:
                 remaining -= 1
             else:
                 heapq.heappush(heap, (core.cycle, index))
-        return MulticoreResult(per_core=list(results), quantum=self.quantum)
+        return MulticoreResult(per_core=list(results), quantum=self.quantum,
+                               idle_quanta_skipped=skipped_quanta)

@@ -34,6 +34,8 @@ validated against the golden interpreter by the test suite.
 from __future__ import annotations
 
 import dataclasses
+import time
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.core_base import (
@@ -48,13 +50,14 @@ from repro.core.deferred_queue import DeferredQueue, DQEntry
 from repro.core.modes import ExecMode, FailCause, ScoutCause
 from repro.core.regstate import SpeculativeRegisters
 from repro.core.store_buffer import StoreBuffer
+from repro.core.timing import PerfCounters
 from repro.errors import SimulatorInvariantError
 from repro.isa.opcodes import Op, OpClass
 from repro.isa.program import Program
 from repro.isa.registers import REG_COUNT, ZERO_REG
-from repro.isa.semantics import branch_taken, compute_value, effective_address
+from repro.isa.semantics import MASK64, effective_address
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.memory.request import AccessResult, AccessType
+from repro.memory.request import AccessResult, AccessType, HitLevel
 
 FORWARD_LATENCY = 1
 
@@ -62,6 +65,15 @@ FORWARD_LATENCY = 1
 _ISSUED = "issued"
 _BLOCKED = "blocked"
 _RETRY = "retry"  # mode changed (e.g. entered scout); try again
+
+# Sentinel wake for "blocked until a state change, not by time" in the
+# replay/commit stall caches (far beyond any simulated cycle).
+_NO_WAKE = 1 << 62
+
+# ExecMode -> mode_cycles key, resolved once: Enum ``.value`` is a
+# DynamicClassAttribute lookup and _account_mode_cycles is called on
+# every clock movement.
+_MODE_KEY = {mode: mode.value for mode in ExecMode}
 
 
 @dataclasses.dataclass
@@ -146,6 +158,24 @@ class SSTCore(Core):
         self._suppress_pc = -1
         self._suppress_seq = -1
 
+        # ---- host-side observability + event-driven bookkeeping -------
+        self.perf = PerfCounters()
+        self._perf_stepped_cycle = -1
+        self._wall_accum = 0.0
+        # Earliest cycle at which this core can next do work; a
+        # multicore scheduler may skip whole quanta up to (not past) it.
+        self._next_event = 0
+        # Memoized "replay strand has nothing issuable before cycle X"
+        # / "no commit possible before cycle X" results (None = unknown,
+        # _NO_WAKE = blocked until a state change).  Invalidated by any
+        # mutation that can change eligibility; purely a recomputation
+        # cache, so timing is bit-identical with or without it.
+        self._replay_stall: Optional[int] = None
+        self._commit_stall: Optional[int] = None
+        # Lazy min-heap over (ready, seq) of pending deferred producers;
+        # stale entries (overwritten or completed) are dropped on pop.
+        self._pending_heap: List[Tuple[int, int]] = []
+
     # ==================================================================
     # Top level.
     # ==================================================================
@@ -168,19 +198,33 @@ class SSTCore(Core):
         """
         if self._halted:
             return True
-        while until_cycle is None or self._cycle < until_cycle:
-            if self.mode is ExecMode.NORMAL:
-                outcome = self._normal_step(max_instructions, until_cycle)
-                if outcome == "halt":
-                    self._halted = True
-                    return True
-                if outcome == "yield":
-                    return False
-                # outcome == "spec": fall through to the episode loop;
-                # a pending HALT/MEMBAR re-executes in normal mode
-                # after the episode resolves.
-            self._speculative_loop(max_instructions, until_cycle)
-        return False
+        started = time.perf_counter()
+        try:
+            while until_cycle is None or self._cycle < until_cycle:
+                if self.mode is ExecMode.NORMAL:
+                    outcome = self._normal_step(max_instructions, until_cycle)
+                    if outcome == "halt":
+                        self._halted = True
+                        return True
+                    if outcome == "yield":
+                        return False
+                    # outcome == "spec": fall through to the episode
+                    # loop; a pending HALT/MEMBAR re-executes in normal
+                    # mode after the episode resolves.
+                self._speculative_loop(max_instructions, until_cycle)
+            return False
+        finally:
+            self._wall_accum += time.perf_counter() - started
+
+    @property
+    def next_event_hint(self) -> int:
+        """Earliest cycle at which this core can next issue, commit, or
+        otherwise touch shared state.  Calls to :meth:`advance` with
+        ``until_cycle`` at or before this hint are pure clock jumps (no
+        hierarchy accesses), which is what lets the multicore scheduler
+        fast-forward idle quanta without perturbing access order."""
+        hint = self._next_event
+        return hint if hint > self._cycle else self._cycle
 
     @property
     def halted(self) -> bool:
@@ -219,7 +263,9 @@ class SSTCore(Core):
                 "sb": self.sb.stats,
                 "sb_occupancy": self.sb.occupancy,
                 "checkpoints": self.checkpoints.stats,
+                "perf": self.perf,
             },
+            wall_seconds=self._wall_accum,
         )
 
     # ==================================================================
@@ -228,10 +274,16 @@ class SSTCore(Core):
 
     def _normal_issue_at(self, earliest: int) -> int:
         if earliest > self._cycle:
+            perf = self.perf
+            perf.cycles_skipped += earliest - self._cycle
+            perf.fast_forwards += 1
             self._account_mode_cycles(earliest)
             self._cycle = earliest
             self._slots = 0
         slot = self._cycle
+        if slot != self._perf_stepped_cycle:
+            self._perf_stepped_cycle = slot
+            self.perf.cycles_stepped += 1
         self._slots += 1
         if self._slots >= self.config.width:
             self._account_mode_cycles(self._cycle + 1)
@@ -242,7 +294,7 @@ class SSTCore(Core):
     def _account_mode_cycles(self, new_cycle: int) -> None:
         delta = new_cycle - self._mode_account_cycle
         if delta > 0:
-            self.stats.mode_cycles[self.mode.value] += delta
+            self.stats.mode_cycles[_MODE_KEY[self.mode]] += delta
             self._mode_account_cycle = new_cycle
 
     def _defer_triggering(self, result: AccessResult) -> bool:
@@ -268,20 +320,44 @@ class SSTCore(Core):
         or beyond that cycle (resumable for multicore interleaving).
         """
         state = self.state
-        program = self.program
-        latencies = self.config.latencies
-        model_ifetch = self.hierarchy.config.model_ifetch
+        config = self.config
+        latencies = config.latencies
+        hierarchy = self.hierarchy
+        model_ifetch = hierarchy.config.model_ifetch
         reg_ready = self._reg_ready
-        can_speculate = self.config.checkpoints >= 1
+        can_speculate = config.checkpoints >= 1
+
+        # Hot-loop locals (see inorder.py): direct register-file
+        # indexing is safe because every write below guards the zero
+        # register, so ``regs[0]`` stays 0.
+        insts = self.program.instructions
+        n_insts = len(insts)
+        regs = state.regs
+        mem_read = state.memory.read
+        mem_write = state.memory.write
+        ifetch = hierarchy.ifetch
+        data_access = hierarchy.data_access
+        lat_alu = latencies.alu
+        lat_mul = latencies.mul
+        lat_div = latencies.div
+        defer_on_tlb_miss = config.defer_on_tlb_miss
+        defer_on_l1_miss = config.defer_trigger is DeferTrigger.L1_MISS
+        L1 = HitLevel.L1
+        DRAM = HitLevel.DRAM
+        MERGE_L2 = HitLevel.MERGE_L2
+        ACC_LOAD = AccessType.LOAD
+        ACC_STORE = AccessType.STORE
 
         while True:
             if until is not None and self._cycle >= until:
+                self._next_event = self._cycle
                 return "yield"
-            self._check_budget(self._executed, budget)
-            self._check_pc(self._pc)
+            if self._executed >= budget:
+                self._check_budget(self._executed, budget)
             pc = self._pc
-            inst = program[pc]
-            op = inst.op
+            if pc < 0 or pc >= n_insts:
+                self._check_pc(pc)
+            inst = insts[pc]
             cls = inst.op_class
 
             earliest = self._cycle
@@ -290,14 +366,19 @@ class SSTCore(Core):
                     earliest = reg_ready[src]
             if until is not None and earliest >= until:
                 # The next instruction would issue beyond the quantum;
-                # hand control back without touching shared state.
+                # hand control back without touching shared state.  Any
+                # re-entry with a quantum at or before ``earliest`` is a
+                # pure clock jump (operand readiness cannot regress), so
+                # advertise it as the fast-forward hint.
+                self._next_event = earliest
                 self._account_mode_cycles(until)
                 self._cycle = until
                 self._slots = 0
                 return "yield"
             if model_ifetch:
-                fetch = self.hierarchy.ifetch(pc, self._cycle)
-                earliest = max(earliest, fetch.ready_cycle)
+                fetch_ready = ifetch(pc, self._cycle).ready_cycle
+                if fetch_ready > earliest:
+                    earliest = fetch_ready
 
             if cls is OpClass.HALT:
                 self._executed += 1
@@ -313,53 +394,61 @@ class SSTCore(Core):
             next_pc = pc + 1
 
             if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
-                a = state.read_reg(inst.rs1)
-                b = state.read_reg(inst.rs2)
-                value = compute_value(inst, a, b)
-                latency = self.op_latency(cls, latencies)
-                if (cls is OpClass.DIV and self.config.defer_long_ops
-                        and can_speculate and self._episode_allowed(pc)):
-                    # The committed write is withheld: the checkpoint
-                    # must capture pre-trigger state so a rollback can
-                    # re-execute the trigger itself.
-                    self._pc = next_pc
-                    self._begin_episode(
-                        pc, slot, inst.rd, slot + latency, value
-                    )
-                    return "spec"
-                state.write_reg(inst.rd, value)
-                if inst.rd != ZERO_REG:
+                a = regs[inst.rs1]
+                fn = inst.alu_fn
+                value = (fn(a, inst.imm) if inst.alu_uses_imm
+                         else fn(a, regs[inst.rs2]))
+                if cls is OpClass.ALU:
+                    latency = lat_alu
+                elif cls is OpClass.MUL:
+                    latency = lat_mul
+                else:
+                    latency = lat_div
+                    if (config.defer_long_ops and can_speculate
+                            and self._episode_allowed(pc)):
+                        # The committed write is withheld: the
+                        # checkpoint must capture pre-trigger state so a
+                        # rollback can re-execute the trigger itself.
+                        self._pc = next_pc
+                        self._begin_episode(
+                            pc, slot, inst.rd, slot + latency, value
+                        )
+                        return "spec"
+                if inst.rd:
+                    regs[inst.rd] = value
                     reg_ready[inst.rd] = slot + latency
             elif cls is OpClass.LOAD:
-                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
-                value = state.memory.read(addr)
-                result = self.hierarchy.data_access(
-                    addr, slot, AccessType.LOAD, pc=pc
-                )
-                if (can_speculate and self._defer_triggering(result)
-                        and self._episode_allowed(pc)):
-                    self._pc = next_pc
-                    self._begin_episode(
-                        pc, slot, inst.rd, result.ready_cycle, value
-                    )
-                    return "spec"
-                state.write_reg(inst.rd, value)
-                if inst.rd != ZERO_REG:
+                addr = (regs[inst.rs1] + inst.imm) & MASK64
+                value = mem_read(addr)
+                result = data_access(addr, slot, ACC_LOAD, pc=pc)
+                if can_speculate:
+                    level = result.level
+                    if result.tlb_miss and defer_on_tlb_miss:
+                        triggering = True
+                    elif defer_on_l1_miss:
+                        triggering = level is not L1
+                    else:
+                        triggering = level is DRAM or level is MERGE_L2
+                    if triggering and self._episode_allowed(pc):
+                        self._pc = next_pc
+                        self._begin_episode(
+                            pc, slot, inst.rd, result.ready_cycle, value
+                        )
+                        return "spec"
+                if inst.rd:
+                    regs[inst.rd] = value
                     reg_ready[inst.rd] = result.ready_cycle
             elif cls is OpClass.STORE:
-                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
-                state.memory.write(addr, state.read_reg(inst.rs2))
-                result = self.hierarchy.data_access(
-                    addr, slot, AccessType.STORE, pc=pc
-                )
-                self._drain_busy = max(self._drain_busy, result.ready_cycle)
+                addr = (regs[inst.rs1] + inst.imm) & MASK64
+                mem_write(addr, regs[inst.rs2])
+                result = data_access(addr, slot, ACC_STORE, pc=pc)
+                if result.ready_cycle > self._drain_busy:
+                    self._drain_busy = result.ready_cycle
             elif cls is OpClass.PREFETCH:
-                addr = effective_address(state.read_reg(inst.rs1), inst.imm)
+                addr = (regs[inst.rs1] + inst.imm) & MASK64
                 self.hierarchy.prefetch(addr, slot)
             elif cls is OpClass.BRANCH:
-                taken = branch_taken(
-                    op, state.read_reg(inst.rs1), state.read_reg(inst.rs2)
-                )
+                taken = inst.branch_fn(regs[inst.rs1], regs[inst.rs2])
                 mispredicted = self.branch_unit.resolve_cond(pc, taken)
                 if taken:
                     next_pc = inst.target
@@ -371,20 +460,20 @@ class SSTCore(Core):
                         self._cycle = redirect
                         self._slots = 0
             elif cls is OpClass.JUMP:
-                state.write_reg(inst.rd, pc + 1)
-                if inst.rd != ZERO_REG:
+                if inst.rd:
+                    regs[inst.rd] = pc + 1
                     reg_ready[inst.rd] = slot + 1
                 if self.is_call(inst):
                     self.branch_unit.push_return(pc + 1)
                 next_pc = inst.target
             elif cls is OpClass.JUMP_INDIRECT:
-                target = effective_address(state.read_reg(inst.rs1), inst.imm)
+                target = (regs[inst.rs1] + inst.imm) & MASK64
                 self._check_pc(target)
                 mispredicted = self.branch_unit.resolve_indirect(
                     pc, target, is_return=self.is_return(inst)
                 )
-                state.write_reg(inst.rd, pc + 1)
-                if inst.rd != ZERO_REG:
+                if inst.rd:
+                    regs[inst.rd] = pc + 1
                     reg_ready[inst.rd] = slot + 1
                 if self.is_call(inst):
                     self.branch_unit.push_return(pc + 1)
@@ -440,6 +529,9 @@ class SSTCore(Core):
         ))
         self._slice_values = {seq: value}
         self._producer_ready = {seq: data_ready}
+        self._pending_heap = [(data_ready, seq)]
+        self._replay_stall = None
+        self._commit_stall = None
         self._spec_loads = []
         self._scout_stores = {}
         self._ahead_pc = self._pc
@@ -449,19 +541,29 @@ class SSTCore(Core):
         if trigger_rd != ZERO_REG:
             spec.write_na(trigger_rd, seq)
         self._account_mode_cycles(self._cycle)
+        # Episode work happens every cycle until proven otherwise.
+        self._next_event = self._cycle
         if self.config.scout_only:
             self._enter_scout(ScoutCause.SCOUT_ONLY)
         else:
             self.mode = ExecMode.EXECUTE_AHEAD
 
     def _min_outstanding(self, cycle: int) -> Optional[int]:
-        """Earliest completion among still-pending producers (no list
-        allocation: this runs on every idle speculative cycle)."""
-        earliest: Optional[int] = None
-        for ready in self._producer_ready.values():
-            if ready > cycle and (earliest is None or ready < earliest):
-                earliest = ready
-        return earliest
+        """Earliest completion among still-pending producers.
+
+        Served from the lazy pending-heap: completed and stale entries
+        (the clock is monotonic within an episode, and a producer's
+        ready time is only ever re-pushed, never silently changed) are
+        popped on sight, so the amortized cost is O(log n) per producer
+        instead of a full dict scan per idle cycle."""
+        heap = self._pending_heap
+        producer_ready = self._producer_ready
+        while heap:
+            ready, seq = heap[0]
+            if ready > cycle and producer_ready.get(seq) == ready:
+                return ready
+            heappop(heap)
+        return None
 
     def _count_outstanding(self, cycle: int) -> int:
         count = 0
@@ -474,6 +576,8 @@ class SSTCore(Core):
         self.stats.scout_sessions[cause] += 1
         self._account_mode_cycles(self._cycle)
         self.mode = ExecMode.SCOUT
+        self._replay_stall = None
+        self._commit_stall = None
         earliest = self._min_outstanding(self._cycle)
         self._scout_end = earliest if earliest is not None else self._cycle
         if self._ahead_block in ("dq_full", "sb_full"):
@@ -486,12 +590,20 @@ class SSTCore(Core):
         self.checkpoints.clear()
         self._slice_values = {}
         self._producer_ready = {}
+        # Rollback reuses sequence numbers, so stale heap entries could
+        # alias future producers — drop them with the episode.
+        self._pending_heap = []
+        self._replay_stall = None
+        self._commit_stall = None
         self._spec_loads = []
         self._scout_stores = {}
         self._ahead_block = None
         self._replay_no_boundary = False
         self._account_mode_cycles(self._cycle)
         self.mode = ExecMode.NORMAL
+        # Back in normal mode: any stale speculative wake hint would
+        # overstate how long this core can be fast-forwarded.
+        self._next_event = self._cycle
 
     def _rollback(self, cycle: int, cause: Optional[FailCause]) -> None:
         """Restore the oldest checkpoint; cause None = scout ending."""
@@ -534,6 +646,15 @@ class SSTCore(Core):
         """Region commits oldest-first, then a full commit if possible."""
         if self.mode is ExecMode.SCOUT or self.spec is None:
             return
+        # Memoized outcome: nothing can commit before ``_commit_stall``
+        # (replay progress and teardown invalidate; ahead-strand issue
+        # only *adds* blockers, which cannot move a commit earlier).
+        stall = self._commit_stall
+        if stall is not None and cycle < stall:
+            return
+        self._commit_stall = None
+        did_commit = False
+        time_blocked = False  # blocked by a pending producer (not state)
 
         # Region commits: is the oldest epoch [ckpt0, ckpt1) fully
         # resolved?  (DQ drained below the boundary, all its pending
@@ -544,8 +665,13 @@ class SSTCore(Core):
             head = self.dq.head()
             if head is not None and head.seq < boundary.start_seq:
                 break
-            if any(seq < boundary.start_seq and ready > cycle
-                   for seq, ready in self._producer_ready.items()):
+            pending_below = False
+            for seq, ready in self._producer_ready.items():
+                if ready > cycle and seq < boundary.start_seq:
+                    pending_below = True
+                    break
+            if pending_below:
+                time_blocked = True
                 break
             self.state.regs = self._materialize(boundary.regs)
             self._drain_stores(self.sb.drain_below(boundary.start_seq), cycle)
@@ -558,17 +684,35 @@ class SSTCore(Core):
             self.stats.region_commits += 1
             self.stats.committed_spec_insts += committed
             self._executed += committed
+            did_commit = True
             # A freed checkpoint lets a paused ahead strand resume (the
             # next replay region will re-evaluate its protection).
             if self._replay_no_boundary:
                 self._replay_no_boundary = False
                 if self._ahead_block == "replay":
                     self._ahead_block = None
+        if did_commit:
+            # Committing drained state the replay memo may have seen.
+            self._replay_stall = None
 
         # Full commit: everything resolved.
         if self.dq:
+            if time_blocked:
+                # A region commit is still waiting on producer
+                # completions — recheck at the earliest one.
+                pending = self._min_outstanding(cycle)
+                self._commit_stall = (pending if pending is not None
+                                      else _NO_WAKE)
+            else:
+                # Blocked on unreplayed entries: only replay-strand
+                # progress (which invalidates the memo) can change
+                # that, never time alone.
+                self._commit_stall = _NO_WAKE
             return
-        if any(ready > cycle for ready in self._producer_ready.values()):
+        pending = self._min_outstanding(cycle)
+        if pending is not None:
+            # Recheck no earlier than the first producer completion.
+            self._commit_stall = pending
             return
         spec = self.spec
         if spec is None:
@@ -691,9 +835,22 @@ class SSTCore(Core):
                         f"(mode={self.mode}, block={self._ahead_block})"
                     )
                 next_cycle = wake_min
+            # The uncapped wake target is the multicore fast-forward
+            # hint: nothing on this core can happen before it.
+            self._next_event = next_cycle
             if until is not None:
                 # Bounded-skew interleaving: never run past the quantum.
                 next_cycle = min(next_cycle, until)
+            perf = self.perf
+            if cycle != self._perf_stepped_cycle:
+                self._perf_stepped_cycle = cycle
+                perf.cycles_stepped += 1
+            if next_cycle > cycle + 1:
+                skipped = next_cycle - cycle - 1
+                perf.cycles_skipped += skipped
+                perf.fast_forwards += 1
+                stalls = perf.stall_cycles
+                stalls["spec_wait"] = stalls.get("spec_wait", 0) + skipped
             self._account_mode_cycles(next_cycle)
             self._cycle = next_cycle
 
@@ -714,17 +871,6 @@ class SSTCore(Core):
     # Replay strand.
     # ==================================================================
 
-    def _replay_entry_ready(self, entry: DQEntry,
-                            cycle: int) -> Optional[int]:
-        """Cycle at which the entry's captured producers are all done,
-        or None if a producer has not even replayed yet."""
-        ready = cycle
-        for producer in entry.producers():
-            if producer not in self._slice_values:
-                return None  # producer itself still queued
-            ready = max(ready, self._producer_ready[producer])
-        return ready
-
     def _try_replay_issue(self, cycle: int) -> Tuple[str, Optional[int]]:
         """Pick the oldest *ready* DQ entry and replay it.
 
@@ -735,29 +881,60 @@ class SSTCore(Core):
         only eligible when no older unresolved store could alias it,
         and an entry's producers are always older and therefore
         eligible before it.
-        """
-        if not self.dq:
-            return _BLOCKED, None
 
+        A fruitless scan is memoized (``_replay_stall``): an entry's
+        eligibility changes only with time (producer ready times, which
+        the scan's wake minimum captures exactly) or with a DQ / slice
+        / store-buffer mutation, all of which clear the memo.  The
+        repeated full-queue scans this avoids were the single hottest
+        path in the simulator.
+        """
+        dq = self.dq
+        if not dq:
+            return _BLOCKED, None
+        stall = self._replay_stall
+        if stall is not None:
+            if stall > cycle:
+                return _BLOCKED, (stall if stall != _NO_WAKE else None)
+            self._replay_stall = None
+
+        slice_values = self._slice_values
+        producer_ready = self._producer_ready
+        blocks_load = self.sb.unresolved.blocks_load
         selected: Optional[DQEntry] = None
         wake: Optional[int] = None
-        for entry in self.dq:
-            ready = self._replay_entry_ready(entry, cycle)
-            if ready is None:
-                continue
+        for entry in dq:
+            # Cycle at which the entry's captured producers are all
+            # done (inlined: this loop dominates episode time).
+            ready = cycle
+            producer = entry.rs1_producer
+            if producer is not None:
+                if producer not in slice_values:
+                    continue  # producer itself still queued
+                r = producer_ready[producer]
+                if r > ready:
+                    ready = r
+            producer = entry.rs2_producer
+            if producer is not None:
+                if producer not in slice_values:
+                    continue
+                r = producer_ready[producer]
+                if r > ready:
+                    ready = r
             if ready > cycle:
-                wake = ready if wake is None else min(wake, ready)
+                if wake is None or ready < wake:
+                    wake = ready
                 continue
             if entry.inst.is_load:
                 base = (entry.rs1_value if entry.rs1_producer is None
-                        else self._slice_values[entry.rs1_producer])
+                        else slice_values[entry.rs1_producer])
                 addr = effective_address(base or 0, entry.inst.imm)
-                if self.sb.unresolved.blocks_load(addr, entry.seq,
-                                                  conservative=True):
+                if blocks_load(addr, entry.seq, conservative=True):
                     continue  # the blocking store replays first
             selected = entry
             break
         if selected is None:
+            self._replay_stall = wake if wake is not None else _NO_WAKE
             return _BLOCKED, wake
 
         # Permission: a boundary checkpoint must protect the ahead
@@ -800,12 +977,17 @@ class SSTCore(Core):
         cls = inst.op_class
         a, b = self._replay_operands(entry)
         latencies = self.config.latencies
+        # Replay progress changes DQ/slice/SB state: drop the memos.
+        self._replay_stall = None
+        self._commit_stall = None
 
         if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
-            value = compute_value(inst, a, b)
+            fn = inst.alu_fn
+            value = fn(a, inst.imm) if inst.alu_uses_imm else fn(a, b)
             complete = cycle + self.op_latency(cls, latencies)
             self._slice_values[entry.seq] = value
             self._producer_ready[entry.seq] = complete
+            heappush(self._pending_heap, (complete, entry.seq))
             spec.apply_replayed(inst.rd, value, entry.seq, complete)
         elif cls is OpClass.LOAD:
             addr = effective_address(a, inst.imm)
@@ -823,6 +1005,7 @@ class SSTCore(Core):
                     self.stats.deferred_loads_missed_again += 1
             self._slice_values[entry.seq] = value
             self._producer_ready[entry.seq] = complete
+            heappush(self._pending_heap, (complete, entry.seq))
             spec.apply_replayed(inst.rd, value, entry.seq, complete)
         elif cls is OpClass.STORE:
             addr = effective_address(a, inst.imm)
@@ -836,7 +1019,7 @@ class SSTCore(Core):
                 self._rollback(cycle, FailCause.MEMORY_ORDER_VIOLATION)
                 return
         elif cls is OpClass.BRANCH:
-            actual = branch_taken(inst.op, a, b)
+            actual = inst.branch_fn(a, b)
             assert entry.predicted_taken is not None
             mispredicted = self.branch_unit.resolve_deferred_cond(
                 entry.pc, entry.predicted_taken, actual
@@ -890,12 +1073,12 @@ class SSTCore(Core):
         spec = self.spec
         assert spec is not None
         pc = self._ahead_pc
-        if not 0 <= pc < len(self.program):
+        if not 0 <= pc < len(self.program.instructions):
             # Only reachable down a predicted wrong path: park until the
             # mispredicted deferred branch rolls the episode back.
             self._ahead_block = "fault"
             return _BLOCKED, None
-        inst = self.program[pc]
+        inst = self.program.instructions[pc]
         cls = inst.op_class
 
         if cls is OpClass.HALT:
@@ -912,7 +1095,13 @@ class SSTCore(Core):
             return _BLOCKED, None
 
         sources = inst.sources
-        na_sources = [src for src in sources if spec.is_na(src)]
+        # Common case: nothing is NA at all, so no source can be —
+        # skip the per-source membership scan entirely.
+        na_producer = spec.na_producer
+        if na_producer:
+            na_sources = [src for src in sources if src in na_producer]
+        else:
+            na_sources = []
 
         if self.mode is ExecMode.SCOUT:
             return self._scout_issue(inst, pc, cycle, na_sources)
@@ -922,9 +1111,10 @@ class SSTCore(Core):
 
         # All operands available: classic stall-on-use timing.
         wake = cycle
+        ready = spec.ready
         for src in sources:
-            if spec.ready[src] > wake:
-                wake = spec.ready[src]
+            if ready[src] > wake:
+                wake = ready[src]
         if wake > cycle:
             return _BLOCKED, wake
         return self._ahead_execute(inst, pc, cycle)
@@ -1009,6 +1199,9 @@ class SSTCore(Core):
         else:
             if not self.dq.append(entry):
                 return self._exhausted("dq_full", ScoutCause.DQ_FULL)
+        # A new DQ entry (and possibly a new unresolved store) changes
+        # what the replay strand can issue.
+        self._replay_stall = None
 
         self.stats.deferred += 1
         if order_defer:
@@ -1056,13 +1249,15 @@ class SSTCore(Core):
 
         if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
             a = spec.read(inst.rs1)
-            b = spec.read(inst.rs2)
-            value = compute_value(inst, a, b)
+            fn = inst.alu_fn
+            value = (fn(a, inst.imm) if inst.alu_uses_imm
+                     else fn(a, spec.read(inst.rs2)))
             latency = self.op_latency(cls, latencies)
             if cls is OpClass.DIV and self.config.defer_long_ops:
                 spec.write_na(inst.rd, seq)
                 self._slice_values[seq] = value
                 self._producer_ready[seq] = cycle + latency
+                heappush(self._pending_heap, (cycle + latency, seq))
             else:
                 spec.write_available(inst.rd, value, seq, cycle + latency)
         elif cls is OpClass.LOAD:
@@ -1092,6 +1287,7 @@ class SSTCore(Core):
                     spec.write_na(inst.rd, seq)
                     self._slice_values[seq] = value
                     self._producer_ready[seq] = result.ready_cycle
+                    heappush(self._pending_heap, (result.ready_cycle, seq))
                     outstanding = self._count_outstanding(cycle)
                     if outstanding > self.stats.peak_outstanding_misses:
                         self.stats.peak_outstanding_misses = outstanding
@@ -1112,7 +1308,7 @@ class SSTCore(Core):
             if addr % 8 == 0:
                 self.hierarchy.prefetch(addr, cycle)
         elif cls is OpClass.BRANCH:
-            taken = branch_taken(op, spec.read(inst.rs1), spec.read(inst.rs2))
+            taken = inst.branch_fn(spec.read(inst.rs1), spec.read(inst.rs2))
             mispredicted = self.branch_unit.resolve_cond(pc, taken)
             if taken:
                 next_pc = inst.target
@@ -1176,7 +1372,9 @@ class SSTCore(Core):
                 next_pc = predicted
             elif inst.writes_reg:
                 spec.write_na(inst.rd, seq)
-                self._producer_ready.setdefault(seq, self._scout_end)
+                if seq not in self._producer_ready:
+                    self._producer_ready[seq] = self._scout_end
+                    heappush(self._pending_heap, (self._scout_end, seq))
                 self._slice_values.setdefault(seq, 0)
             self._ahead_pc = next_pc
             return self._consume_slot(cycle)
@@ -1191,11 +1389,11 @@ class SSTCore(Core):
 
         if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
             a = spec.read(inst.rs1)
-            b = spec.read(inst.rs2)
+            fn = inst.alu_fn
+            value = (fn(a, inst.imm) if inst.alu_uses_imm
+                     else fn(a, spec.read(inst.rs2)))
             latency = self.op_latency(cls, self.config.latencies)
-            spec.write_available(
-                inst.rd, compute_value(inst, a, b), seq, cycle + latency
-            )
+            spec.write_available(inst.rd, value, seq, cycle + latency)
         elif cls is OpClass.LOAD:
             addr = effective_address(spec.read(inst.rs1), inst.imm)
             if addr % 8 != 0:
@@ -1211,7 +1409,9 @@ class SSTCore(Core):
                          else self.state.memory.read(addr))
             if self._defer_triggering(result):
                 spec.write_na(inst.rd, seq)
-                self._producer_ready.setdefault(seq, result.ready_cycle)
+                if seq not in self._producer_ready:
+                    self._producer_ready[seq] = result.ready_cycle
+                    heappush(self._pending_heap, (result.ready_cycle, seq))
                 self._slice_values.setdefault(seq, value)
             else:
                 spec.write_available(inst.rd, value, seq, result.ready_cycle)
@@ -1230,7 +1430,7 @@ class SSTCore(Core):
             if addr % 8 == 0:
                 self.hierarchy.prefetch(addr, cycle)
         elif cls is OpClass.BRANCH:
-            taken = branch_taken(op, spec.read(inst.rs1), spec.read(inst.rs2))
+            taken = inst.branch_fn(spec.read(inst.rs1), spec.read(inst.rs2))
             self.branch_unit.resolve_cond(pc, taken)
             if taken:
                 next_pc = inst.target

@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 from repro.isa.opcodes import (
     Op,
     OpClass,
+    IMM_ALU_OPS,
     WRITES_RD,
     READS_RS1,
     READS_RS2,
@@ -21,6 +22,7 @@ from repro.isa.opcodes import (
     BRANCH_OPS,
 )
 from repro.isa.registers import reg_name
+from repro.isa.semantics import alu_fn_for, branch_fn_for
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,6 +70,19 @@ class Instruction:
                                        compare=False, default=False)
     is_mem: bool = dataclasses.field(init=False, repr=False,
                                      compare=False, default=False)
+    # ALU form whose second operand is the immediate (incl. MOVI):
+    # resolved once here so the per-instruction semantic dispatch never
+    # inspects opcode spellings on the hot path.
+    alu_uses_imm: bool = dataclasses.field(init=False, repr=False,
+                                           compare=False, default=False)
+    # Semantic handlers resolved at decode (module-level functions, so
+    # decoded programs stay picklable): the two-operand ALU evaluator
+    # and the branch condition.  None for opcodes without one.
+    alu_fn: Optional[object] = dataclasses.field(init=False, repr=False,
+                                                 compare=False, default=None)
+    branch_fn: Optional[object] = dataclasses.field(init=False, repr=False,
+                                                    compare=False,
+                                                    default=None)
 
     def __post_init__(self) -> None:
         op = self.op
@@ -92,6 +107,9 @@ class Instruction:
         set_attr(self, "is_load", op is Op.LD)
         set_attr(self, "is_store", op is Op.ST)
         set_attr(self, "is_mem", op is Op.LD or op is Op.ST)
+        set_attr(self, "alu_uses_imm", op in IMM_ALU_OPS)
+        set_attr(self, "alu_fn", alu_fn_for(op))
+        set_attr(self, "branch_fn", branch_fn_for(op))
 
     def source_regs(self) -> Tuple[int, ...]:
         """The register operands this instruction reads, in rs1,rs2 order."""

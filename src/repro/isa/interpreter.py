@@ -13,14 +13,10 @@ import dataclasses
 from typing import List, Optional
 
 from repro.errors import ExecutionError
-from repro.isa.opcodes import Op, OpClass
+from repro.isa.opcodes import OpClass
 from repro.isa.program import Program
 from repro.isa.registers import REG_COUNT, ZERO_REG
-from repro.isa.semantics import (
-    alu_result,
-    branch_taken,
-    effective_address,
-)
+from repro.isa.semantics import effective_address
 from repro.memory.sparse_memory import SparseMemory
 
 DEFAULT_MAX_STEPS = 50_000_000
@@ -103,13 +99,14 @@ class Interpreter:
         next_pc = state.pc + 1
 
         if cls is OpClass.ALU or cls is OpClass.MUL or cls is OpClass.DIV:
-            if op is Op.MOVI:
-                result = alu_result(op, 0, inst.imm)
-            elif op.value.endswith("i"):
-                result = alu_result(op, state.read_reg(inst.rs1), inst.imm)
+            fn = inst.alu_fn
+            if inst.alu_uses_imm:
+                # MOVI ignores its first operand, so the uniform rs1
+                # read is safe for every immediate form.
+                result = fn(state.read_reg(inst.rs1), inst.imm)
             else:
-                result = alu_result(
-                    op, state.read_reg(inst.rs1), state.read_reg(inst.rs2)
+                result = fn(
+                    state.read_reg(inst.rs1), state.read_reg(inst.rs2)
                 )
             state.write_reg(inst.rd, result)
         elif cls is OpClass.LOAD:
@@ -122,8 +119,8 @@ class Interpreter:
             self.stats.stores += 1
         elif cls is OpClass.BRANCH:
             self.stats.branches += 1
-            if branch_taken(
-                op, state.read_reg(inst.rs1), state.read_reg(inst.rs2)
+            if inst.branch_fn(
+                state.read_reg(inst.rs1), state.read_reg(inst.rs2)
             ):
                 self.stats.branches_taken += 1
                 next_pc = inst.target

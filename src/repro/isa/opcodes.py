@@ -134,6 +134,13 @@ for _op in Op:
         raise AssertionError(f"unclassified opcode {_op}")
 
 
+# ALU forms whose second operand is the instruction immediate rather
+# than rs2 (the "i"-suffixed forms plus MOVI, which reads nothing).
+IMM_ALU_OPS = {
+    Op.ADDI, Op.ANDI, Op.ORI, Op.XORI,
+    Op.SLLI, Op.SRLI, Op.SRAI, Op.SLTI, Op.MOVI,
+}
+
 # Opcodes whose result register is written (reads below are separate).
 WRITES_RD = _ALU_OPS | {Op.MUL, Op.DIV, Op.REM, Op.LD, Op.JAL, Op.JALR}
 

@@ -8,6 +8,12 @@ of the same bug.
 Values are 64-bit and stored as unsigned Python ints in ``[0, 2**64)``.
 Division follows the RISC-V convention: quotient of x/0 is all-ones,
 remainder of x/0 is x; overflow of INT_MIN / -1 wraps.
+
+Dispatch is table-driven: each opcode maps to one module-level function
+(picklable, so decoded programs still cross process boundaries).  The
+cores call these once per simulated instruction, so the old
+if-chain/string-suffix dispatch was a measurable fraction of total
+simulation time.
 """
 
 from __future__ import annotations
@@ -29,64 +35,164 @@ def to_unsigned(value: int) -> int:
     return value & MASK64
 
 
+# ----------------------------------------------------------------------
+# ALU op implementations (b is the second register value or the already
+# substituted immediate, exactly as alu_result documents).
+# ----------------------------------------------------------------------
+
+def _add(a, b):
+    return (a + b) & MASK64
+
+
+def _sub(a, b):
+    return (a - b) & MASK64
+
+
+def _mul(a, b):
+    return (a * b) & MASK64
+
+
+def _div(a, b):
+    if (b & MASK64) == 0:
+        return MASK64
+    quotient = int(to_signed(a) / to_signed(b & MASK64))
+    return quotient & MASK64
+
+
+def _rem(a, b):
+    if (b & MASK64) == 0:
+        return a
+    sa, sb = to_signed(a), to_signed(b & MASK64)
+    return (sa - sb * int(sa / sb)) & MASK64
+
+
+def _and(a, b):
+    return a & (b & MASK64)
+
+
+def _or(a, b):
+    return a | (b & MASK64)
+
+
+def _xor(a, b):
+    return a ^ (b & MASK64)
+
+
+def _sll(a, b):
+    return (a << (b & 63)) & MASK64
+
+
+def _srl(a, b):
+    return a >> (b & 63)
+
+
+def _sra(a, b):
+    return (to_signed(a) >> (b & 63)) & MASK64
+
+
+def _slt(a, b):
+    return 1 if to_signed(a) < to_signed(b & MASK64) else 0
+
+
+def _sltu(a, b):
+    return 1 if a < (b & MASK64) else 0
+
+
+def _movi(a, b):
+    return b & MASK64
+
+
+_ALU_FN = {
+    Op.ADD: _add, Op.ADDI: _add,
+    Op.SUB: _sub,
+    Op.MUL: _mul,
+    Op.DIV: _div,
+    Op.REM: _rem,
+    Op.AND: _and, Op.ANDI: _and,
+    Op.OR: _or, Op.ORI: _or,
+    Op.XOR: _xor, Op.XORI: _xor,
+    Op.SLL: _sll, Op.SLLI: _sll,
+    Op.SRL: _srl, Op.SRLI: _srl,
+    Op.SRA: _sra, Op.SRAI: _sra,
+    Op.SLT: _slt, Op.SLTI: _slt,
+    Op.SLTU: _sltu,
+    Op.MOVI: _movi,
+}
+
+
+def alu_fn_for(op: Op):
+    """The raw two-operand ALU handler for ``op`` (None for non-ALU).
+
+    Decode stores the result on :class:`~repro.isa.instruction.
+    Instruction` (``alu_fn``), so the cycle loops dispatch with a plain
+    attribute read instead of an enum-keyed table probe per dynamic
+    instruction.
+    """
+    return _ALU_FN.get(op)
+
+
 def alu_result(op: Op, a: int, b: int) -> int:
     """Result of a register-register or register-immediate ALU op.
 
     ``b`` is the second register value or the (already substituted)
     immediate.  Returns an unsigned 64-bit value.
     """
-    if op in (Op.ADD, Op.ADDI):
-        return (a + b) & MASK64
-    if op is Op.SUB:
-        return (a - b) & MASK64
-    if op is Op.MUL:
-        return (a * b) & MASK64
-    if op is Op.DIV:
-        if to_unsigned(b) == 0:
-            return MASK64
-        quotient = int(to_signed(a) / to_signed(to_unsigned(b)))
-        return to_unsigned(quotient)
-    if op is Op.REM:
-        if to_unsigned(b) == 0:
-            return a
-        sa, sb = to_signed(a), to_signed(to_unsigned(b))
-        return to_unsigned(sa - sb * int(sa / sb))
-    if op in (Op.AND, Op.ANDI):
-        return a & to_unsigned(b)
-    if op in (Op.OR, Op.ORI):
-        return a | to_unsigned(b)
-    if op in (Op.XOR, Op.XORI):
-        return a ^ to_unsigned(b)
-    if op in (Op.SLL, Op.SLLI):
-        return (a << (to_unsigned(b) & 63)) & MASK64
-    if op in (Op.SRL, Op.SRLI):
-        return a >> (to_unsigned(b) & 63)
-    if op in (Op.SRA, Op.SRAI):
-        return to_unsigned(to_signed(a) >> (to_unsigned(b) & 63))
-    if op in (Op.SLT, Op.SLTI):
-        return 1 if to_signed(a) < to_signed(to_unsigned(b)) else 0
-    if op is Op.SLTU:
-        return 1 if a < to_unsigned(b) else 0
-    if op is Op.MOVI:
-        return to_unsigned(b)
-    raise SimulatorInvariantError(f"alu_result called with non-ALU op {op}")
+    fn = _ALU_FN.get(op)
+    if fn is None:
+        raise SimulatorInvariantError(f"alu_result called with non-ALU op {op}")
+    return fn(a, b)
+
+
+# ----------------------------------------------------------------------
+# Branch conditions.
+# ----------------------------------------------------------------------
+
+def _beq(a, b):
+    return a == b
+
+
+def _bne(a, b):
+    return a != b
+
+
+def _blt(a, b):
+    return to_signed(a) < to_signed(b)
+
+
+def _bge(a, b):
+    return to_signed(a) >= to_signed(b)
+
+
+def _bltu(a, b):
+    return a < b
+
+
+def _bgeu(a, b):
+    return a >= b
+
+
+_BRANCH_FN = {
+    Op.BEQ: _beq, Op.BNE: _bne,
+    Op.BLT: _blt, Op.BGE: _bge,
+    Op.BLTU: _bltu, Op.BGEU: _bgeu,
+}
+
+
+def branch_fn_for(op: Op):
+    """The raw condition handler for ``op`` (None for non-branches);
+    stored at decode as ``Instruction.branch_fn`` (see
+    :func:`alu_fn_for`)."""
+    return _BRANCH_FN.get(op)
 
 
 def branch_taken(op: Op, a: int, b: int) -> bool:
     """Condition outcome of a conditional branch."""
-    if op is Op.BEQ:
-        return a == b
-    if op is Op.BNE:
-        return a != b
-    if op is Op.BLT:
-        return to_signed(a) < to_signed(b)
-    if op is Op.BGE:
-        return to_signed(a) >= to_signed(b)
-    if op is Op.BLTU:
-        return a < b
-    if op is Op.BGEU:
-        return a >= b
-    raise SimulatorInvariantError(f"branch_taken called with non-branch op {op}")
+    fn = _BRANCH_FN.get(op)
+    if fn is None:
+        raise SimulatorInvariantError(
+            f"branch_taken called with non-branch op {op}"
+        )
+    return fn(a, b)
 
 
 def effective_address(base: int, imm: int) -> int:
@@ -100,11 +206,14 @@ def compute_value(inst, a: int = 0, b: int = 0) -> int:
     ``a`` is rs1's value, ``b`` is rs2's value; immediate forms ignore
     ``b`` and use the instruction's immediate.  This is the single entry
     point all cores use, so immediate-vs-register selection cannot
-    diverge between models.
+    diverge between models — the choice is made once at decode and
+    stored on the instruction (``alu_uses_imm``).
     """
-    op = inst.op
-    if op is Op.MOVI:
-        return alu_result(op, 0, inst.imm)
-    if op.value.endswith("i"):
-        return alu_result(op, a, inst.imm)
-    return alu_result(op, a, b)
+    fn = inst.alu_fn
+    if fn is None:
+        raise SimulatorInvariantError(
+            f"alu_result called with non-ALU op {inst.op}"
+        )
+    if inst.alu_uses_imm:
+        return fn(a, inst.imm)
+    return fn(a, b)

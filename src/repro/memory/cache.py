@@ -5,6 +5,10 @@ The cache models *tags only* — data always lives in the architectural
 needs from a cache is hit/miss decisions, replacement behaviour, and
 dirty-line writeback counts.  Write policy is write-back,
 write-allocate.
+
+Per-line state is a small int bitmask (dirty / prefetched) rather than
+a dict: the lookup path runs once per simulated memory access across
+every core model, so it stays allocation-free.
 """
 
 from __future__ import annotations
@@ -15,6 +19,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.config import CacheConfig
 from repro.errors import SimulatorInvariantError
+
+# Line-flag bits.
+DIRTY = 1
+PREFETCHED = 2
 
 
 @dataclasses.dataclass
@@ -43,7 +51,7 @@ class Cache:
         self.stats = CacheStats()
         self._line_shift = config.line_bytes.bit_length() - 1
         self._set_mask = config.num_sets - 1
-        # set index -> OrderedDict(tag -> line flags); LRU at the front.
+        # set index -> OrderedDict(line -> flag bits); LRU at the front.
         self._sets: List[OrderedDict] = [
             OrderedDict() for _ in range(config.num_sets)
         ]
@@ -67,18 +75,22 @@ class Cache:
     def lookup(self, addr: int, *, update_lru: bool = True,
                count: bool = True) -> bool:
         """Hit test; moves the line to MRU on hit when ``update_lru``."""
-        cache_set, line = self._locate(self.line_addr(addr))
+        shift = self._line_shift
+        index = addr >> shift
+        line = index << shift
+        cache_set = self._sets[index & self._set_mask]
         hit = line in cache_set
         if count:
-            self.stats.accesses += 1
+            stats = self.stats
+            stats.accesses += 1
             if hit:
-                self.stats.hits += 1
+                stats.hits += 1
                 flags = cache_set[line]
-                if flags.get("prefetched"):
-                    self.stats.prefetch_hits += 1
-                    flags["prefetched"] = False
+                if flags & PREFETCHED:
+                    stats.prefetch_hits += 1
+                    cache_set[line] = flags & ~PREFETCHED
             else:
-                self.stats.misses += 1
+                stats.misses += 1
         if hit and update_lru:
             cache_set.move_to_end(line)
         return hit
@@ -99,21 +111,22 @@ class Cache:
         if len(cache_set) >= self.config.assoc:
             victim, flags = cache_set.popitem(last=False)
             self.stats.evictions += 1
-            if flags.get("dirty"):
+            if flags & DIRTY:
                 self.stats.writebacks += 1
                 victim_writeback = victim
-        cache_set[line] = {"dirty": False, "prefetched": prefetched}
+        cache_set[line] = PREFETCHED if prefetched else 0
         if prefetched:
             self.stats.prefetch_fills += 1
         return victim_writeback
 
     def mark_dirty(self, addr: int) -> None:
         cache_set, line = self._locate(self.line_addr(addr))
-        if line not in cache_set:
+        flags = cache_set.get(line)
+        if flags is None:
             raise SimulatorInvariantError(
                 f"{self.name}: mark_dirty on absent line {line:#x}"
             )
-        cache_set[line]["dirty"] = True
+        cache_set[line] = flags | DIRTY
 
     def invalidate(self, addr: int) -> None:
         cache_set, line = self._locate(self.line_addr(addr))

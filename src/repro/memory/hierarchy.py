@@ -41,12 +41,24 @@ class HierarchyStats:
     demand_merges: int = 0
     prefetches_issued: int = 0
     ifetches: int = 0
+    # Observability: accesses served entirely by the single-probe fast
+    # path (L1 hit with no outstanding fill — no MSHR/prefetcher
+    # bookkeeping touched).  Subsets of the hit counters above.
+    fastpath_l1d: int = 0
+    fastpath_l1i: int = 0
 
     @property
     def dram_fraction(self) -> float:
         if not self.demand_accesses:
             return 0.0
         return self.demand_dram / self.demand_accesses
+
+    @property
+    def l1d_fastpath_fraction(self) -> float:
+        """Fraction of demand accesses that took the L1 fast path."""
+        if not self.demand_accesses:
+            return 0.0
+        return self.fastpath_l1d / self.demand_accesses
 
 
 class MemoryHierarchy:
@@ -66,6 +78,10 @@ class MemoryHierarchy:
             config.l2_prefetcher, config.l2.line_bytes
         )
         self.stats = HierarchyStats()
+        # Hot-path latency constants (one attribute hop instead of three
+        # on every access).
+        self._l1d_hit_latency = config.l1d.hit_latency
+        self._l1i_hit_latency = config.l1i.hit_latency
         # Lines whose in-flight L1D fill originated in DRAM (vs. L2),
         # so merged accesses can be classified for defer triggers.
         self._l1_pending_from_dram: Set[int] = set()
@@ -84,31 +100,48 @@ class MemoryHierarchy:
                     pc: int = 0) -> AccessResult:
         """A demand load or store from the core at ``cycle``."""
         addr += self.addr_offset
-        self.stats.demand_accesses += 1
+        stats = self.stats
+        stats.demand_accesses += 1
         tlb_missed = False
         if self.dtlb is not None and not self.dtlb.access(addr):
             tlb_missed = True
             cycle += self.config.tlb.walk_latency
-        line = self.l1d.line_addr(addr)
-        hit_ready = cycle + self.config.l1d.hit_latency
+        l1d = self.l1d
+        line = l1d.line_addr(addr)
 
-        if self.l1d.lookup(addr):
+        if self.l1d_mshr.idle_at(cycle):
+            # Fast hit path: nothing outstanding, so a tag hit cannot
+            # merge with an in-flight fill — a single L1 probe settles
+            # the access with no MSHR/prefetcher bookkeeping.
+            if l1d.lookup(line):
+                stats.demand_l1_hits += 1
+                stats.fastpath_l1d += 1
+                if access_type is AccessType.STORE:
+                    l1d.mark_dirty(line)
+                if tlb_missed:
+                    return AccessResult(cycle + self._l1d_hit_latency,
+                                        HitLevel.L1, tlb_miss=True)
+                return AccessResult(cycle + self._l1d_hit_latency,
+                                    HitLevel.L1)
+            result = self._l1d_miss(line, cycle, pc)
+        elif l1d.lookup(line):
+            hit_ready = cycle + self._l1d_hit_latency
             pending = self.l1d_mshr.pending_ready(line, cycle)
             if pending is not None and pending > hit_ready:
                 # The line's fill is still in flight: merge.
-                self.stats.demand_merges += 1
+                stats.demand_merges += 1
                 level = (HitLevel.MERGE_L2
                          if line in self._l1_pending_from_dram
                          else HitLevel.MERGE_L1)
                 result = AccessResult(pending, level)
             else:
-                self.stats.demand_l1_hits += 1
+                stats.demand_l1_hits += 1
                 result = AccessResult(hit_ready, HitLevel.L1)
         else:
             result = self._l1d_miss(line, cycle, pc)
 
         if access_type is AccessType.STORE:
-            self.l1d.mark_dirty(addr)
+            self.l1d.mark_dirty(line)
         if tlb_missed:
             result = _dataclasses.replace(result, tlb_miss=True)
         return result
@@ -177,11 +210,12 @@ class MemoryHierarchy:
         if self.dtlb is not None and not self.dtlb.access(addr):
             cycle += self.config.tlb.walk_latency
         line = self.l1d.line_addr(addr)
-        if self.l1d.lookup(addr, count=False):
-            pending = self.l1d_mshr.pending_ready(line, cycle)
-            ready = cycle + self.config.l1d.hit_latency
-            if pending is not None and pending > ready:
-                return AccessResult(pending, HitLevel.MERGE_L1)
+        if self.l1d.lookup(line, count=False):
+            ready = cycle + self._l1d_hit_latency
+            if not self.l1d_mshr.idle_at(cycle):
+                pending = self.l1d_mshr.pending_ready(line, cycle)
+                if pending is not None and pending > ready:
+                    return AccessResult(pending, HitLevel.MERGE_L1)
             return AccessResult(ready, HitLevel.L1)
         self.stats.prefetches_issued += 1
         result = self._l1d_miss(line, cycle, pc=0)
@@ -210,11 +244,18 @@ class MemoryHierarchy:
 
     def ifetch(self, pc: int, cycle: int) -> AccessResult:
         """Fetch the instruction at index ``pc``."""
-        self.stats.ifetches += 1
+        stats = self.stats
+        stats.ifetches += 1
         addr = ICODE_BASE + pc * ICODE_BYTES_PER_INST + self.addr_offset
         line = self.l1i.line_addr(addr)
-        hit_ready = cycle + self.config.l1i.hit_latency
-        if self.l1i.lookup(addr):
+        if self.l1i_mshr.idle_at(cycle):
+            # Fast hit path (see data_access): one probe, no MSHR work.
+            if self.l1i.lookup(line):
+                stats.fastpath_l1i += 1
+                return AccessResult(cycle + self._l1i_hit_latency,
+                                    HitLevel.L1)
+        elif self.l1i.lookup(line):
+            hit_ready = cycle + self._l1i_hit_latency
             pending = self.l1i_mshr.pending_ready(line, cycle)
             if pending is not None and pending > hit_ready:
                 return AccessResult(pending, HitLevel.MERGE_L1)
@@ -228,6 +269,24 @@ class MemoryHierarchy:
         self.l1i_mshr.complete(line, ready)
         level = HitLevel.DRAM if from_dram else HitLevel.L2
         return AccessResult(ready, level)
+
+    # ------------------------------------------------------------------
+    # Event-driven fast-forwarding support.
+    # ------------------------------------------------------------------
+
+    def next_completion_cycle(self, cycle: int = None) -> "int | None":
+        """Earliest in-flight fill completion across all MSHR files.
+
+        Returns None when nothing is outstanding.  Cores use this to
+        jump their clocks straight to the next memory event instead of
+        polling the hierarchy every cycle.
+        """
+        earliest = None
+        for mshr in (self.l1d_mshr, self.l1i_mshr, self.l2_mshr):
+            ready = mshr.next_completion_cycle(cycle)
+            if ready is not None and (earliest is None or ready < earliest):
+                earliest = ready
+        return earliest
 
     # ------------------------------------------------------------------
     # Invariants.

@@ -6,12 +6,21 @@ A second access to a pending line *merges* (no new entry, shares the
 completion time).  When the file is full, a new miss must wait for the
 earliest completion — that serialisation is exactly why bigger windows
 (or SST's deferred queue) only help up to the MSHR-limited MLP.
+
+The file keeps the earliest outstanding completion incrementally, so
+the common probes — "anything in flight?" and "when does the next fill
+land?" (:meth:`next_completion_cycle`, used by the cores' event-driven
+fast-forwarding) — are O(1) and expiry only scans when a fill has
+actually completed.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from typing import Dict, Optional, Tuple
+
+# Sentinel "no outstanding completion" (compares greater than any cycle).
+_NEVER = 1 << 62
 
 
 @dataclasses.dataclass
@@ -33,19 +42,46 @@ class MSHRFile:
         self.stats = MSHRStats()
         # line address -> fill-complete cycle.
         self._pending: Dict[int, int] = {}
+        # Earliest completion among pending fills (_NEVER when empty).
+        self._min_ready = _NEVER
 
     def _expire(self, cycle: int) -> None:
-        if self._pending:
-            self._pending = {
-                line: ready
-                for line, ready in self._pending.items()
-                if ready > cycle
-            }
+        """Drop entries whose fill has completed by ``cycle``."""
+        pending = self._pending
+        if not pending or cycle < self._min_ready:
+            return
+        expired = [line for line, ready in pending.items() if ready <= cycle]
+        for line in expired:
+            del pending[line]
+        self._min_ready = min(pending.values()) if pending else _NEVER
 
     def pending_ready(self, line: int, cycle: int) -> Optional[int]:
         """If ``line`` has an in-flight miss at ``cycle``, its ready time."""
         self._expire(cycle)
         return self._pending.get(line)
+
+    def idle_at(self, cycle: int) -> bool:
+        """True when no fill is outstanding at ``cycle`` (O(1) probe)."""
+        pending = self._pending
+        if not pending:
+            return True
+        if self._min_ready > cycle:
+            return False
+        self._expire(cycle)
+        return not pending
+
+    def next_completion_cycle(self, cycle: Optional[int] = None
+                              ) -> Optional[int]:
+        """Earliest outstanding fill completion, or None when idle.
+
+        With ``cycle`` given, entries completed at or before it are
+        retired first, so the answer is strictly in the future.  This is
+        the accessor the event-driven cores fast-forward on instead of
+        polling :meth:`pending_ready` every cycle.
+        """
+        if cycle is not None:
+            self._expire(cycle)
+        return self._min_ready if self._pending else None
 
     def occupancy(self, cycle: int) -> int:
         self._expire(cycle)
@@ -70,7 +106,7 @@ class MSHRFile:
         start = cycle
         if len(self._pending) >= self.entries:
             # Wait for the earliest in-flight miss to complete.
-            start = min(self._pending.values())
+            start = self._min_ready
             self.stats.full_stalls += 1
             self.stats.stall_cycles += start - cycle
             self._expire(start)
@@ -80,5 +116,7 @@ class MSHRFile:
     def complete(self, line: int, ready_cycle: int) -> None:
         """Record that the miss of ``line`` fills at ``ready_cycle``."""
         self._pending[line] = ready_cycle
+        if ready_cycle < self._min_ready:
+            self._min_ready = ready_cycle
         if len(self._pending) > self.stats.peak_occupancy:
             self.stats.peak_occupancy = len(self._pending)

@@ -46,6 +46,7 @@ from repro.core.deferred_queue import DQStats
 from repro.core.modes import ExecMode, FailCause, ScoutCause
 from repro.core.sst_core import SSTStats
 from repro.core.store_buffer import SBStats
+from repro.core.timing import PerfCounters
 from repro.errors import ReproError
 from repro.isa.interpreter import ArchState, InterpreterStats
 from repro.isa.program import Program
@@ -57,9 +58,14 @@ from repro.stats.histogram import Histogram
 # Bump on ANY change to core timing/functional semantics or to the
 # serialized result layout: the version is part of every cache key, so
 # a bump orphans (never re-addresses) every previously cached result.
-SIM_SCHEMA_VERSION = 1
+# 2: PerfCounters ride on every CoreResult's extra["perf"].
+SIM_SCHEMA_VERSION = 2
 
-DEFAULT_CACHE_DIR = pathlib.Path("benchmarks") / ".simcache"
+# Anchored to the repository root (not the process cwd) so running the
+# harness from inside benchmarks/ hits the same cache.
+DEFAULT_CACHE_DIR = (
+    pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / ".simcache"
+)
 
 
 class CacheCodecError(ReproError):
@@ -134,7 +140,7 @@ _DATACLASSES: Dict[str, Type] = {
     for cls in (
         CoreResult, ArchState, SSTStats, BranchStats, HierarchyStats,
         CacheStats, DQStats, SBStats, CheckpointStats, OoOStats,
-        InterpreterStats,
+        InterpreterStats, PerfCounters,
     )
 }
 

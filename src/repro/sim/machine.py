@@ -56,7 +56,10 @@ class Machine:
         core = build_core(self.config, program, hierarchy)
         started = time.perf_counter()
         result = core.run(max_instructions=max_instructions)
-        result.wall_seconds = time.perf_counter() - started
+        if not result.wall_seconds:
+            # Cores time themselves (tighter bound); fall back to the
+            # harness-side measurement for any that don't.
+            result.wall_seconds = time.perf_counter() - started
         # Re-label with the configured machine name so sweeps stay legible.
         result.core_name = self.name
         return result

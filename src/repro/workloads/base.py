@@ -4,6 +4,7 @@ fully deterministic)."""
 
 from __future__ import annotations
 
+import functools
 import random
 
 # Data heaps start here; instruction indices live in a separate address
@@ -20,6 +21,29 @@ LCG_ADD = 1442695040888963407
 
 def rng(seed: int) -> random.Random:
     return random.Random(seed)
+
+
+def memoize_workload(fn):
+    """Cache a workload generator's Programs by argument tuple.
+
+    Every generator is a pure function of its arguments (seeded
+    randomness only) and a built :class:`~repro.isa.program.Program` is
+    immutable, so configuration sweeps that run the same workload on
+    many machine variants can share one instance instead of re-laying
+    tables of tens of thousands of data words per run.
+    """
+    cache = {}
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        key = (args, tuple(sorted(kwargs.items())))
+        program = cache.get(key)
+        if program is None:
+            program = cache[key] = fn(*args, **kwargs)
+        return program
+
+    wrapper.cache = cache
+    return wrapper
 
 
 def check_pow2(value: int, what: str) -> None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
 from repro.workloads.base import (
+    memoize_workload,
     HEAP_BASE,
     LCG_ADD,
     LCG_MUL,
@@ -23,6 +24,7 @@ from repro.workloads.base import (
 )
 
 
+@memoize_workload
 def branchy_reduce(iterations: int = 1024, data_words: int = 1 << 13,
                    biased: bool = False, seed: int = 6,
                    name: str = "int-branchy") -> Program:

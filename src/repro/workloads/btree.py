@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
 from repro.workloads.base import (
+    memoize_workload,
     HEAP_BASE,
     LCG_ADD,
     LCG_MUL,
@@ -21,6 +22,7 @@ from repro.workloads.base import (
 )
 
 
+@memoize_workload
 def btree_lookup(array_words: int = 1 << 14, lookups: int = 256,
                  seed: int = 3, name: str = "index-btree") -> Program:
     """Binary-search ``lookups`` pseudo-random keys in a sorted array."""

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
-from repro.workloads.base import HEAP_BASE, RESULT_ADDR, rng
+from repro.workloads.base import HEAP_BASE, RESULT_ADDR, rng, memoize_workload
 
 
+@memoize_workload
 def graph_bfs(vertices: int = 512, avg_degree: int = 4, seed: int = 10,
               name: str = "graph-bfs") -> Program:
     """BFS from vertex 0 over a random connected digraph."""

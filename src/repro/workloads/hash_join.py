@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
 from repro.workloads.base import (
+    memoize_workload,
     HEAP_BASE,
     LCG_ADD,
     LCG_MUL,
@@ -22,6 +23,7 @@ from repro.workloads.base import (
 )
 
 
+@memoize_workload
 def hash_join(table_words: int = 1 << 15, probes: int = 2048,
               chased_fraction: int = 0, seed: int = 2,
               name: str = "db-hashjoin") -> Program:

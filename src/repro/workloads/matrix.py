@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
-from repro.workloads.base import HEAP_BASE, RESULT_ADDR, rng
+from repro.workloads.base import HEAP_BASE, RESULT_ADDR, rng, memoize_workload
 
 
+@memoize_workload
 def matrix_multiply(n: int = 12, seed: int = 7,
                     name: str = "compute-matmul") -> Program:
     """C = A @ B for dense n×n 64-bit matrices (ijk order)."""

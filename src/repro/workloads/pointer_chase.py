@@ -16,12 +16,13 @@ from __future__ import annotations
 
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
-from repro.workloads.base import HEAP_BASE, RESULT_ADDR, rng
+from repro.workloads.base import HEAP_BASE, RESULT_ADDR, rng, memoize_workload
 
 _NODE_BYTES = 16
 _MAX_CHAINS = 8
 
 
+@memoize_workload
 def pointer_chase(chains: int = 4, nodes_per_chain: int = 256,
                   hops: int = 512, seed: int = 1,
                   name: str = "oltp-chase") -> Program:

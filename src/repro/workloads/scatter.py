@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
 from repro.workloads.base import (
+    memoize_workload,
     HEAP_BASE,
     LCG_ADD,
     LCG_MUL,
@@ -30,6 +31,7 @@ from repro.workloads.base import (
 HOT_WORDS = 64  # the shared region updates occasionally alias
 
 
+@memoize_workload
 def scatter_update(table_words: int = 1 << 14, updates: int = 1024,
                    alias_per_1024: int = 8, seed: int = 9,
                    name: str = "db-scatter") -> Program:

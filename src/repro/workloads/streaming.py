@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
 from repro.workloads.base import (
+    memoize_workload,
     HEAP_BASE,
     LCG_ADD,
     LCG_MUL,
@@ -26,6 +27,7 @@ from repro.workloads.base import (
 )
 
 
+@memoize_workload
 def array_stream(words: int = 1 << 14, scale: int = 3,
                  write_back: bool = False, seed: int = 4,
                  name: str = "fp-stream") -> Program:
@@ -60,6 +62,7 @@ def array_stream(words: int = 1 << 14, scale: int = 3,
     return builder.build()
 
 
+@memoize_workload
 def store_stream(records: int = 512, payload_words: int = 8,
                  table_words: int = 1 << 14, seed: int = 5,
                  name: str = "web-storelog") -> Program:

@@ -1,0 +1,96 @@
+"""Cycle-count bit-identity against pre-optimization golden results.
+
+``golden_cycles.json`` pins the exact cycles, retired instruction
+counts, architectural register state (order-weighted checksum) and —
+for the SST family — the per-mode cycle breakdown and episode count of
+every core model on three tiny workloads, captured at the commit
+*before* the event-driven fast-forwarding / memory fast-path rework
+landed.  The optimizations are pure simulator-speed work: any drift in
+these numbers is a timing-model regression, not tuning.
+
+A multicore golden pins the quantum-interleaved scheduler the same way
+(the quantum-skip fast-forward must not move a single access).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cmp.multicore import Multicore
+from repro.config import (
+    HierarchyConfig,
+    SSTConfig,
+    ea_machine,
+    inorder_machine,
+    ooo_machine,
+    scout_machine,
+    sst_machine,
+)
+from repro.sim.machine import Machine
+from repro.workloads import full_suite
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_cycles.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+MACHINES = {
+    "inorder": inorder_machine,
+    "ooo": ooo_machine,
+    "sst": sst_machine,
+    "ea": ea_machine,
+    "scout": scout_machine,
+}
+
+MULTICORE_PROGRAMS = ("oltp-chase", "int-branchy", "compute-matmul",
+                      "fp-stream")
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return {program.name: program for program in full_suite("tiny")}
+
+
+def _reg_crc(result) -> int:
+    """Order-weighted checksum of the final architectural registers."""
+    return sum(value * (index + 1)
+               for index, value in enumerate(result.state.regs)
+               ) & 0xFFFFFFFFFFFFFFFF
+
+
+def _observed(result) -> dict:
+    entry = {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "reg_crc": _reg_crc(result),
+    }
+    sst_stats = result.extra.get("sst")
+    if sst_stats is not None:
+        entry["mode_cycles"] = dict(sst_stats.mode_cycles)
+        entry["episodes"] = sst_stats.episodes
+    return entry
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN["cores"]))
+def test_core_golden(key, tiny_suite):
+    machine_name, workload = key.split("/")
+    result = Machine(MACHINES[machine_name]()).run(tiny_suite[workload])
+    assert _observed(result) == GOLDEN["cores"][key]
+
+
+def test_multicore_golden(tiny_suite):
+    result = Multicore(
+        HierarchyConfig(), [SSTConfig()] * len(MULTICORE_PROGRAMS),
+        [tiny_suite[name] for name in MULTICORE_PROGRAMS],
+    ).run()
+    observed = {
+        "makespan": result.makespan,
+        "aggregate_ipc": round(result.aggregate_ipc, 12),
+        "per_core": [
+            {"name": core.core_name, "cycles": core.cycles,
+             "instructions": core.instructions}
+            for core in result.per_core
+        ],
+    }
+    assert observed == GOLDEN["multicore"]

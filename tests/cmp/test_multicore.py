@@ -108,3 +108,25 @@ def test_result_accounting():
         r.instructions for r in result.per_core
     )
     assert result.quantum == 150
+
+
+def test_idle_quantum_skip_is_cycle_exact():
+    """Telescoped idle quanta must not perturb any core's timing.
+
+    ``max_cycles`` disables the fast-forward (the cap is checked at
+    every quantum boundary), so a capped run gives the
+    quantum-by-quantum reference schedule to compare against.
+    """
+    progs = programs(3)
+    hierarchy = small_hierarchy_config()
+    for quantum in (25, 200):
+        fast = Multicore(hierarchy, [SSTConfig()] * 3, progs,
+                         quantum=quantum).run()
+        reference = Multicore(hierarchy, [SSTConfig()] * 3, progs,
+                              quantum=quantum).run(max_cycles=10 ** 9)
+        assert reference.idle_quanta_skipped == 0
+        assert fast.idle_quanta_skipped > 0
+        for skipped, stepped in zip(fast.per_core, reference.per_core):
+            assert skipped.cycles == stepped.cycles
+            assert skipped.instructions == stepped.instructions
+            assert skipped.state.regs == stepped.state.regs
