@@ -5,8 +5,6 @@ speculation failures and deeper surviving run-ahead.  Compared on the
 unpredictable and the biased variants of the branchy workload.
 """
 
-import dataclasses
-
 from common import bench_hierarchy, run, save_table, scaled
 from repro.config import (
     BranchPredictorConfig,

@@ -9,7 +9,7 @@ then diminishing returns.
 import dataclasses
 
 from common import bench_hierarchy, run, save_table, scaled
-from repro.config import SSTConfig, inorder_machine, sst_machine
+from repro.config import inorder_machine, sst_machine
 from repro.stats.report import Table
 from repro.workloads import hash_join
 

@@ -147,6 +147,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "suite, rewrite benchmarks/BENCH_smoke.json, "
                              "and fail on a >30%% regression vs the "
                              "committed baseline")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run the smoke suite with REPRO_SANITIZE=1 "
+                             "(per-event invariant checking; implies "
+                             "--smoke --no-cache, since cached results "
+                             "would skip the checked simulations)")
     args = parser.parse_args(argv)
 
     if args.perf_smoke:
@@ -154,6 +159,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     # Environment must be fixed before any worker forks (common.py reads
     # it at import time, which happens inside the workers).
+    if args.sanitize:
+        os.environ["REPRO_SANITIZE"] = "1"
+        args.smoke = True
+        args.no_cache = True
     if args.smoke:
         os.environ["REPRO_BENCH_SMOKE"] = "1"
     if args.no_cache:
@@ -181,8 +190,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     jobs = min(jobs, len(modules))
 
     mode = "smoke" if args.smoke else "full"
+    sanitize_note = ", sanitize=on" if args.sanitize else ""
     print(f"running {len(modules)} experiments ({mode} scale, "
-          f"jobs={jobs}, cache={'off' if args.no_cache else 'on'})")
+          f"jobs={jobs}, cache={'off' if args.no_cache else 'on'}"
+          f"{sanitize_note})")
 
     start = time.perf_counter()
     if jobs > 1:
@@ -203,6 +214,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     for name, error in failures:
         print(f"\n--- {name} failed ---\n{error}", file=sys.stderr)
+    if args.sanitize and not failures:
+        print("sanitize: zero invariant violations across "
+              f"{len(modules)} experiments")
     return 1 if failures else 0
 
 

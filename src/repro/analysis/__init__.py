@@ -1,0 +1,44 @@
+"""Correctness tooling: static program verification + runtime sanitizing.
+
+Two complementary passes keep the simulator honest as the hot paths get
+rewritten for speed:
+
+* :mod:`repro.analysis.proglint` — a static verifier over
+  :class:`~repro.isa.program.Program` (CFG + dataflow) that catches
+  generator bugs before a single cycle is simulated,
+* :mod:`repro.analysis.sanitizer` — a per-event microarchitectural
+  invariant checker the cores consult when ``REPRO_SANITIZE`` is set.
+"""
+
+from repro.analysis.cfg import CFG, BasicBlock
+from repro.analysis.proglint import (
+    DiagKind,
+    Diagnostic,
+    ProgramLinter,
+    check_program,
+    lint_program,
+)
+from repro.analysis.sanitizer import (
+    InOrderSanitizer,
+    OoOSanitizer,
+    Sanitizer,
+    SSTSanitizer,
+    make_sanitizer,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "DiagKind",
+    "Diagnostic",
+    "InOrderSanitizer",
+    "OoOSanitizer",
+    "ProgramLinter",
+    "Sanitizer",
+    "SSTSanitizer",
+    "check_program",
+    "lint_program",
+    "make_sanitizer",
+    "sanitize_enabled",
+]

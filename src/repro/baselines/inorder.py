@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import time
 
+from repro.analysis.sanitizer import make_sanitizer
 from repro.baselines.core_base import (
     Core,
     CoreResult,
@@ -49,6 +50,8 @@ class InOrderCore(Core):
         super().__init__(program, hierarchy)
         self.config = config
         self.branch_unit = BranchUnit(config.predictor)
+        # Observational invariant checker; None unless REPRO_SANITIZE.
+        self.sanitizer = make_sanitizer("inorder", self.name, program)
 
     def run(self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> CoreResult:
         started = time.perf_counter()
@@ -112,6 +115,7 @@ class InOrderCore(Core):
         advance_to = clock.advance_to
         executed = 0
         last_store_done = 0  # for MEMBAR draining
+        sanitizer = self.sanitizer
 
         pc = 0
         while True:
@@ -141,6 +145,8 @@ class InOrderCore(Core):
                 executed += 1
                 final_cycle = max(earliest, max(reg_ready), last_store_done)
                 total = max(final_cycle, 1)
+                if sanitizer is not None:
+                    sanitizer.on_halt(executed, regs, state.memory, total)
                 cpi_stack = dict(stalls)
                 cpi_stack["busy"] = max(total - sum(stalls.values()), 0)
                 return CoreResult(
@@ -161,6 +167,8 @@ class InOrderCore(Core):
                 )
 
             slot = issue_at(earliest)
+            if sanitizer is not None:
+                sanitizer.on_issue(slot, cycle)
             executed += 1
             next_pc = pc + 1
 

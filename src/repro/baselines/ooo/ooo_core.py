@@ -37,6 +37,7 @@ import time
 from collections import defaultdict, deque
 from typing import Dict
 
+from repro.analysis.sanitizer import make_sanitizer
 from repro.baselines.core_base import (
     Core,
     CoreResult,
@@ -72,6 +73,8 @@ class OoOCore(Core):
         self.config = config
         self.branch_unit = BranchUnit(config.predictor)
         self.stats = OoOStats()
+        # Observational invariant checker; None unless REPRO_SANITIZE.
+        self.sanitizer = make_sanitizer("ooo", self.name, program)
 
     def run(self, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> CoreResult:
         started = time.perf_counter()
@@ -176,6 +179,7 @@ class OoOCore(Core):
         branch_redirect_cycles = 0
         commit_cycles_stepped = 0
         last_commit_cycle_seen = -1
+        sanitizer = self.sanitizer
 
         while True:
             if executed >= max_instructions:
@@ -205,6 +209,8 @@ class OoOCore(Core):
 
             if cls is CLS_HALT:
                 cycles = max(last_commit, fetch_slot, 1)
+                if sanitizer is not None:
+                    sanitizer.on_halt(executed, regs, state.memory, cycles)
                 stats = self.stats
                 stats.dispatched = dispatched
                 stats.load_forwards = load_forwards
@@ -263,6 +269,11 @@ class OoOCore(Core):
                         dispatch = blocking
                     lsq_pop()
             dispatched += 1
+            if sanitizer is not None:
+                sanitizer.on_dispatch(
+                    len(rob_releases), len(iq_releases),
+                    len(lsq_releases), config, dispatch,
+                )
 
             # ---- operand readiness -----------------------------------
             ready = dispatch
@@ -396,6 +407,8 @@ class OoOCore(Core):
             if commit_used >= commit_width:
                 commit_cursor += 1
                 commit_used = 0
+            if sanitizer is not None:
+                sanitizer.on_commit(commit_time, last_commit, commit_time)
             if commit_time > last_commit:
                 last_commit = commit_time
             if commit_time != last_commit_cycle_seen:

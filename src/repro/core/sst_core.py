@@ -38,6 +38,7 @@ import time
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.sanitizer import SSTSanitizer, make_sanitizer
 from repro.baselines.core_base import (
     Core,
     CoreResult,
@@ -176,6 +177,15 @@ class SSTCore(Core):
         # stale entries (overwritten or completed) are dropped on pop.
         self._pending_heap: List[Tuple[int, int]] = []
 
+        # ---- optional microarchitectural sanitizer ---------------------
+        # None unless REPRO_SANITIZE is set; every hook site is guarded,
+        # and the sanitizer itself is observational (it never touches
+        # timing state), so cycle counts are identical either way.
+        self.sanitizer: Optional[SSTSanitizer] = make_sanitizer(
+            "sst", self.name, program)  # type: ignore[assignment]
+        if self.sanitizer is not None:
+            self.sanitizer.attach_memory_guard(self.state)
+
     # ==================================================================
     # Top level.
     # ==================================================================
@@ -246,6 +256,12 @@ class SSTCore(Core):
             self._cycle, max(self._reg_ready), self._drain_busy, 1
         )
         self._account_mode_cycles(final_cycle)
+        if self.sanitizer is not None:
+            if self._halted:
+                self.sanitizer.on_commit(self._executed, self.state.regs,
+                                         self.state.memory, None,
+                                         final_cycle)
+            self.sanitizer.detach_memory_guard(self.state)
         return CoreResult(
             core_name=self.name,
             program_name=self.program.name,
@@ -527,6 +543,9 @@ class SSTCore(Core):
             start_seq=seq, pc=trigger_pc, regs=snapshot,
             taken_cycle=trigger_slot, cause_seq=seq,
         ))
+        if self.sanitizer is not None:
+            self.sanitizer.on_episode_begin(trigger_slot)
+            self.sanitizer.on_checkpoint(self.checkpoints, trigger_slot)
         self._slice_values = {seq: value}
         self._producer_ready = {seq: data_ready}
         self._pending_heap = [(data_ready, seq)]
@@ -584,6 +603,8 @@ class SSTCore(Core):
             self._ahead_block = None
 
     def _teardown_episode(self) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_episode_end(self._cycle)
         self.spec = None
         self.dq.clear()
         self.sb.clear()
@@ -631,6 +652,9 @@ class SSTCore(Core):
 
     def _drain_stores(self, entries, cycle: int) -> None:
         """Commit stores to memory and the cache, with drain bandwidth."""
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_drain_begin(entries, cycle)
         drained_this_cycle = 0
         at = max(cycle, self._drain_busy)
         for entry in entries:
@@ -641,6 +665,8 @@ class SSTCore(Core):
                 at += 1
                 drained_this_cycle = 0
         self._drain_busy = max(self._drain_busy, at)
+        if sanitizer is not None:
+            sanitizer.on_drain_end()
 
     def _try_commits(self, cycle: int) -> None:
         """Region commits oldest-first, then a full commit if possible."""
@@ -734,6 +760,9 @@ class SSTCore(Core):
         self._executed += committed
         self.stats.full_commits += 1
         self._pc = self._ahead_pc
+        if self.sanitizer is not None:
+            self.sanitizer.on_commit(self._executed, self.state.regs,
+                                     self.state.memory, self._pc, cycle)
         self._reg_ready = list(spec.ready)
         self._cycle = max(self._cycle, cycle)
         self._slots = 0
@@ -949,11 +978,15 @@ class SSTCore(Core):
                                regs=spec.snapshot(), taken_cycle=cycle),
                     boundary=True,
                 )
+                if self.sanitizer is not None:
+                    self.sanitizer.on_checkpoint(self.checkpoints, cycle)
             else:
                 self._replay_no_boundary = True
                 if self._ahead_block is None:
                     self._ahead_block = "replay"
 
+        if self.sanitizer is not None:
+            self.sanitizer.on_replay(selected, self.checkpoints, cycle)
         self.dq.remove(selected)
         self._execute_replay(selected, cycle)
         self.stats.replay_insts += 1
@@ -1199,6 +1232,11 @@ class SSTCore(Core):
         else:
             if not self.dq.append(entry):
                 return self._exhausted("dq_full", ScoutCause.DQ_FULL)
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_defer(entry, self.checkpoints, self.dq, cycle)
+            if cls is OpClass.STORE:
+                sanitizer.on_spec_store(self.sb, cycle)
         # A new DQ entry (and possibly a new unresolved store) changes
         # what the replay strand can issue.
         self._replay_stall = None

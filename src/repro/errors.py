@@ -8,6 +8,8 @@ invariant violations, which always indicate a library bug.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
@@ -30,6 +32,25 @@ class ConfigError(ReproError):
     of values is inconsistent (e.g. zero checkpoints with SST enabled)."""
 
 
+class ProgramLintError(ReproError):
+    """Strict-mode verification rejected a program.
+
+    Raised by :func:`repro.analysis.proglint.check_program` (and the
+    build-time verification of the workload generators) when the static
+    verifier reports one or more diagnostics.  ``diagnostics`` carries
+    the structured findings.
+    """
+
+    def __init__(self, diagnostics, program_name: str = ""):
+        self.diagnostics = list(diagnostics)
+        self.program_name = program_name
+        listing = "\n".join(f"  {diag}" for diag in self.diagnostics)
+        super().__init__(
+            f"program {program_name!r} failed static verification with "
+            f"{len(self.diagnostics)} diagnostic(s):\n{listing}"
+        )
+
+
 class ExecutionError(ReproError):
     """The simulated program performed an illegal operation (misaligned
     access, division by zero, jump outside the program, runaway loop)."""
@@ -41,3 +62,31 @@ class SimulatorInvariantError(ReproError):
     This never indicates a problem with the simulated program; it means
     the simulator itself is broken and should be reported as a bug.
     """
+
+
+class SanitizerError(SimulatorInvariantError):
+    """The microarchitectural sanitizer caught an invariant violation.
+
+    Raised only when ``REPRO_SANITIZE`` is enabled (see
+    :mod:`repro.analysis.sanitizer`).  The message always carries the
+    failing invariant plus cycle/strand context, so a violation deep in
+    a long run is attributable without re-running under a debugger.
+    """
+
+    def __init__(self, invariant: str, detail: str, *,
+                 core: str = "", cycle: Optional[int] = None,
+                 strand: str = ""):
+        self.invariant = invariant
+        self.detail = detail
+        self.core = core
+        self.cycle = cycle
+        self.strand = strand
+        context = []
+        if core:
+            context.append(f"core={core}")
+        if cycle is not None:
+            context.append(f"cycle={cycle}")
+        if strand:
+            context.append(f"strand={strand}")
+        suffix = f" [{', '.join(context)}]" if context else ""
+        super().__init__(f"sanitizer: {invariant}: {detail}{suffix}")

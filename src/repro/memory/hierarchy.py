@@ -16,7 +16,7 @@ I-streams and D-streams compete in the shared L2 without aliasing.
 from __future__ import annotations
 
 import dataclasses
-from typing import Set
+from typing import Optional, Set
 
 import dataclasses as _dataclasses
 
@@ -274,7 +274,8 @@ class MemoryHierarchy:
     # Event-driven fast-forwarding support.
     # ------------------------------------------------------------------
 
-    def next_completion_cycle(self, cycle: int = None) -> "int | None":
+    def next_completion_cycle(
+            self, cycle: Optional[int] = None) -> Optional[int]:
         """Earliest in-flight fill completion across all MSHR files.
 
         Returns None when nothing is outstanding.  Cores use this to

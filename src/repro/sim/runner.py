@@ -37,10 +37,20 @@ def verify_against_golden(result: CoreResult, program: Program) -> None:
 
 
 def simulate(config: MachineConfig, program: Program, *,
-             verify: bool = False,
+             verify: bool = False, strict: bool = False,
              max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
              machine: Optional[Machine] = None) -> CoreResult:
-    """Build the machine, run the program, optionally golden-check."""
+    """Build the machine, run the program, optionally golden-check.
+
+    ``strict=True`` runs the static verifier
+    (:func:`repro.analysis.proglint.check_program`) over the program
+    first and raises :class:`~repro.errors.ProgramLintError` before any
+    cycle is simulated if it reports diagnostics.
+    """
+    if strict:
+        from repro.analysis.proglint import check_program
+
+        check_program(program)
     machine = machine or Machine(config)
     result = machine.run(program, max_instructions=max_instructions)
     if verify:

@@ -31,6 +31,12 @@ def memoize_workload(fn):
     immutable, so configuration sweeps that run the same workload on
     many machine variants can share one instance instead of re-laying
     tables of tens of thousands of data words per run.
+
+    Every freshly built program is also run through the static verifier
+    (:func:`repro.analysis.proglint.check_program`) before it enters the
+    cache — memoization makes this a one-time cost per parameter tuple,
+    and a generator bug surfaces as a :class:`~repro.errors.\
+ProgramLintError` at build time instead of a silently wrong benchmark.
     """
     cache = {}
 
@@ -39,7 +45,11 @@ def memoize_workload(fn):
         key = (args, tuple(sorted(kwargs.items())))
         program = cache.get(key)
         if program is None:
-            program = cache[key] = fn(*args, **kwargs)
+            from repro.analysis.proglint import check_program
+
+            program = fn(*args, **kwargs)
+            check_program(program)
+            cache[key] = program
         return program
 
     wrapper.cache = cache

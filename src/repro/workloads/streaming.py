@@ -83,6 +83,7 @@ def store_stream(records: int = 512, payload_words: int = 8,
     builder.movi(5, LCG_ADD)
     builder.movi(6, table_words - 1)
     builder.movi(7, log_base)  # log cursor
+    builder.movi(12, 0)  # dependent-use accumulator
     builder.label("record")
     builder.mul(3, 3, 4)
     builder.add(3, 3, 5)

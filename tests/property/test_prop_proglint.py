@@ -1,0 +1,101 @@
+"""Workload-cleanliness property: every program a workload generator
+can emit passes the static verifier with zero diagnostics.
+
+The generators are also verified at build time by ``memoize_workload``
+(a diagnostic raises :class:`ProgramLintError` before any simulator
+sees the program), so this property fuzzes the *parameter space* —
+sizes, seeds, aliasing knobs — rather than one blessed configuration
+per generator.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.proglint import lint_program
+from repro.workloads import (
+    array_stream,
+    branchy_reduce,
+    btree_lookup,
+    graph_bfs,
+    hash_join,
+    matrix_multiply,
+    pointer_chase,
+    scatter_update,
+    store_stream,
+)
+
+# Table-like parameters must be powers of two (the generators mask with
+# ``size - 1``); keep sizes modest so building stays fast.
+pow2 = st.sampled_from([256, 512, 1024, 2048])
+PROP = settings(max_examples=12, deadline=None)
+
+
+def assert_clean(program):
+    assert lint_program(program) == [], [
+        str(diag) for diag in lint_program(program)
+    ]
+
+
+@PROP
+@given(chains=st.integers(1, 6), nodes=st.integers(2, 48),
+       hops=st.integers(1, 24))
+def test_pointer_chase_lints_clean(chains, nodes, hops):
+    assert_clean(pointer_chase(chains=chains, nodes_per_chain=nodes,
+                               hops=hops))
+
+
+@PROP
+@given(table_words=pow2, probes=st.integers(1, 96))
+def test_hash_join_lints_clean(table_words, probes):
+    assert_clean(hash_join(table_words=table_words, probes=probes))
+
+
+@PROP
+@given(array_words=pow2, lookups=st.integers(1, 48))
+def test_btree_lookup_lints_clean(array_words, lookups):
+    assert_clean(btree_lookup(array_words=array_words, lookups=lookups))
+
+
+@PROP
+@given(records=st.integers(1, 96), payload_words=st.integers(1, 8),
+       table_words=pow2)
+def test_store_stream_lints_clean(records, payload_words, table_words):
+    assert_clean(store_stream(records=records,
+                              payload_words=payload_words,
+                              table_words=table_words))
+
+
+@PROP
+@given(words=st.integers(8, 512), scale=st.integers(1, 7),
+       write_back=st.booleans(), seed=st.integers(0, 2**16))
+def test_array_stream_lints_clean(words, scale, write_back, seed):
+    assert_clean(array_stream(words=words, scale=scale,
+                              write_back=write_back, seed=seed))
+
+
+@PROP
+@given(iterations=st.integers(1, 128), data_words=pow2)
+def test_branchy_reduce_lints_clean(iterations, data_words):
+    assert_clean(branchy_reduce(iterations=iterations,
+                                data_words=data_words))
+
+
+@PROP
+@given(n=st.integers(2, 10), seed=st.integers(0, 2**16))
+def test_matrix_multiply_lints_clean(n, seed):
+    assert_clean(matrix_multiply(n=n, seed=seed))
+
+
+@PROP
+@given(table_words=pow2, updates=st.integers(1, 96),
+       alias=st.integers(0, 1024))
+def test_scatter_update_lints_clean(table_words, updates, alias):
+    assert_clean(scatter_update(table_words=table_words, updates=updates,
+                                alias_per_1024=alias))
+
+
+@PROP
+@given(vertices=st.integers(2, 128), avg_degree=st.integers(1, 6),
+       seed=st.integers(0, 2**16))
+def test_graph_bfs_lints_clean(vertices, avg_degree, seed):
+    assert_clean(graph_bfs(vertices=vertices, avg_degree=avg_degree,
+                           seed=seed))

@@ -6,7 +6,7 @@ import dataclasses
 import pytest
 
 import repro.sim.cache as cache_mod
-from repro.config import SSTConfig, inorder_machine, sst_machine
+from repro.config import inorder_machine, sst_machine
 from repro.sim.cache import (
     ResultCache,
     cache_enabled_by_env,

@@ -55,3 +55,20 @@ def test_docs_exist_and_are_substantial():
     for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
         text = (REPO / name).read_text()
         assert len(text) > 2000, name
+
+
+def test_no_bytecode_caches_tracked():
+    """``__pycache__`` must be ignored, never committed."""
+    import subprocess
+
+    gitignore = (REPO / ".gitignore").read_text()
+    assert "__pycache__/" in gitignore
+    tracked = subprocess.run(
+        ["git", "ls-files"], cwd=REPO, capture_output=True, text=True,
+        check=True,
+    ).stdout
+    offenders = [
+        line for line in tracked.splitlines()
+        if "__pycache__" in line or line.endswith((".pyc", ".pyo"))
+    ]
+    assert not offenders, offenders

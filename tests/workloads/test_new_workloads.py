@@ -3,7 +3,6 @@
 import pytest
 
 from repro.config import SSTConfig, sst_machine, inorder_machine
-from repro.core import FailCause
 from repro.isa.interpreter import Interpreter
 from repro.sim.runner import simulate
 from repro.workloads import graph_bfs, scatter_update
