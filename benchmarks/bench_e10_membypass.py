@@ -1,71 +1,21 @@
-"""E10 — ablation: loads bypassing unresolved stores.
+"""Pytest-benchmark adapter for E10 — the experiment itself lives in
+:mod:`repro.experiments.e10_membypass`.
 
-The scatter-update workload stores through a *missing* pointer, so the
-store's address is unknown during speculation.  Conservative policy
-defers every younger load behind it; bypass-and-check speculates and
-pays a memory-order rollback on the rare true alias.  Expected: bypass
-clearly wins when aliases are rare, and its advantage shrinks (but the
-machine stays correct) as the alias rate rises.
+Run it standalone (``python benchmarks/bench_e10_membypass.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e10_membypass.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import bench_hierarchy, run, save_table, scaled
-from repro.config import SSTConfig, CoreKind, MachineConfig
-from repro.core import FailCause
-from repro.stats.report import Table
-from repro.workloads import scatter_update
+from repro.experiments import make_bench_test
+
+test_e10_membypass = make_bench_test("e10")
 
 
-def _machine(bypass: bool) -> MachineConfig:
-    return MachineConfig(
-        core_kind=CoreKind.SST,
-        hierarchy=bench_hierarchy(),
-        sst=SSTConfig(bypass_unresolved_stores=bypass),
-        name="sst-bypass" if bypass else "sst-conservative",
-    )
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def experiment():
-    programs = [
-        scatter_update(table_words=scaled(1 << 14), updates=scaled(2000),
-                       alias_per_1024=0, name="db-scatter-clean"),
-        scatter_update(table_words=scaled(1 << 14), updates=scaled(2000),
-                       alias_per_1024=64, name="db-scatter-aliased"),
-    ]
-    table = Table(
-        "E10: load bypass of unresolved stores (ablation)",
-        ["workload", "conservative IPC", "bypass IPC", "bypass gain",
-         "order fails", "order defers (conservative)"],
-    )
-    gains = {}
-    fails = {}
-    for program in programs:
-        conservative = run(_machine(False), program)
-        bypass = run(_machine(True), program)
-        gain = bypass.speedup_over(conservative)
-        gains[program.name] = gain
-        fails[program.name] = bypass.extra["sst"].fails[
-            FailCause.MEMORY_ORDER_VIOLATION
-        ]
-        table.add_row(
-            program.name,
-            round(conservative.ipc, 3),
-            round(bypass.ipc, 3),
-            f"{gain:.2f}x",
-            fails[program.name],
-            conservative.extra["sst"].order_deferred,
-        )
-    return table, gains, fails
-
-
-def test_e10_membypass(benchmark):
-    table, gains, fails = benchmark.pedantic(experiment, rounds=1,
-                                             iterations=1)
-    save_table("e10_membypass", table)
-    benchmark.extra_info["gains"] = {k: round(v, 3)
-                                     for k, v in gains.items()}
-    # Alias-free: bypass wins outright and never fails.
-    assert gains["db-scatter-clean"] > 1.05
-    assert fails["db-scatter-clean"] == 0
-    # With real aliases the checker fires, yet bypass stays viable.
-    assert fails["db-scatter-aliased"] > 0
-    assert gains["db-scatter-aliased"] > 0.8
+    sys.exit(main(["experiments", "run", "e10", "--echo", *sys.argv[1:]]))

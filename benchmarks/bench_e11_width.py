@@ -1,59 +1,21 @@
-"""E11 — pipeline width and strand sharing.
+"""Pytest-benchmark adapter for E11 — the experiment itself lives in
+:mod:`repro.experiments.e11_width`.
 
-The two strands share one pipeline's issue slots.  On a workload with
-per-element compute (fp-stream) extra width feeds both strands and IPC
-grows; on the purely miss-bound probe loop (db-hashjoin) one slot per
-cycle already sustains the miss stream, so width barely matters —
-which is exactly the paper's argument for building *narrow* SST cores
-and spending the area on more of them.
+Run it standalone (``python benchmarks/bench_e11_width.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e11_width.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-import dataclasses
+from repro.experiments import make_bench_test
 
-from common import bench_hierarchy, run, save_table, scaled
-from repro.config import inorder_machine, sst_machine
-from repro.stats.report import Table
-from repro.workloads import array_stream, hash_join
-
-WIDTHS = (1, 2, 4)
+test_e11_width = make_bench_test("e11")
 
 
-def experiment():
-    hierarchy = bench_hierarchy()
-    programs = [
-        array_stream(words=scaled(1 << 15)),
-        hash_join(table_words=scaled(1 << 16), probes=scaled(3000)),
-    ]
-    table = Table(
-        "E11: SST IPC vs pipeline width (same-width in-order shown)",
-        ["workload", "width", "inorder IPC", "sst IPC", "sst speedup"],
-    )
-    ipcs = {}
-    for program in programs:
-        per_width = []
-        for width in WIDTHS:
-            base = run(inorder_machine(hierarchy, width=width), program)
-            machine = dataclasses.replace(
-                sst_machine(hierarchy, width=width), name=f"sst-{width}w"
-            )
-            result = run(machine, program)
-            per_width.append(result.ipc)
-            table.add_row(program.name, width, round(base.ipc, 3),
-                          round(result.ipc, 3),
-                          f"{result.speedup_over(base):.2f}x")
-        ipcs[program.name] = per_width
-    return table, ipcs
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def test_e11_width(benchmark):
-    table, ipcs = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e11_width", table)
-    benchmark.extra_info["ipcs"] = {
-        name: [round(v, 3) for v in values] for name, values in ipcs.items()
-    }
-    stream = ipcs["fp-stream"]
-    assert stream[1] > stream[0] * 1.1  # compute mix wants >= 2-wide
-    hashjoin = ipcs["db-hashjoin"]
-    # The miss stream saturates early: going 2-wide -> 4-wide buys
-    # almost nothing (narrow cores are the right design point).
-    assert abs(hashjoin[2] - hashjoin[1]) / hashjoin[1] < 0.15
+    sys.exit(main(["experiments", "run", "e11", "--echo", *sys.argv[1:]]))

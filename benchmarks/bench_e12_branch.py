@@ -1,70 +1,21 @@
-"""E12 — branch-predictor sensitivity of deferred-branch speculation.
+"""Pytest-benchmark adapter for E12 — the experiment itself lives in
+:mod:`repro.experiments.e12_branch`.
 
-NA-operand branches ride the predictor; better predictors mean fewer
-speculation failures and deeper surviving run-ahead.  Compared on the
-unpredictable and the biased variants of the branchy workload.
+Run it standalone (``python benchmarks/bench_e12_branch.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e12_branch.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import bench_hierarchy, run, save_table, scaled
-from repro.config import (
-    BranchPredictorConfig,
-    CoreKind,
-    MachineConfig,
-    PredictorKind,
-    SSTConfig,
-)
-from repro.core import FailCause
-from repro.stats.report import Table
-from repro.workloads import branchy_reduce
+from repro.experiments import make_bench_test
 
-PREDICTORS = (PredictorKind.ALWAYS_NOT_TAKEN, PredictorKind.BIMODAL,
-              PredictorKind.GSHARE)
+test_e12_branch = make_bench_test("e12")
 
 
-def _machine(kind: PredictorKind) -> MachineConfig:
-    return MachineConfig(
-        core_kind=CoreKind.SST,
-        hierarchy=bench_hierarchy(),
-        sst=SSTConfig(predictor=BranchPredictorConfig(kind=kind)),
-        name=f"sst-{kind.value}",
-    )
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def experiment():
-    programs = [
-        branchy_reduce(iterations=scaled(4000), data_words=scaled(1 << 15),
-                       biased=False),
-        branchy_reduce(iterations=scaled(4000), data_words=scaled(1 << 15),
-                       biased=True,
-                       name="int-branchy-biased"),
-    ]
-    table = Table(
-        "E12: SST IPC and deferred-branch fails vs predictor",
-        ["workload", "predictor", "IPC", "deferred-branch fails"],
-    )
-    by_program = {}
-    for program in programs:
-        ipcs = {}
-        for kind in PREDICTORS:
-            result = run(_machine(kind), program)
-            fails = result.extra["sst"].fails[
-                FailCause.DEFERRED_BRANCH_MISPREDICT
-            ]
-            ipcs[kind] = (result.ipc, fails)
-            table.add_row(program.name, kind.value, round(result.ipc, 3),
-                          fails)
-        by_program[program.name] = ipcs
-    return table, by_program
-
-
-def test_e12_branch(benchmark):
-    table, by_program = benchmark.pedantic(experiment, rounds=1,
-                                           iterations=1)
-    save_table("e12_branch", table)
-    biased = by_program["int-branchy-biased"]
-    # On learnable data, a real predictor clearly beats static
-    # not-taken, both in failures and performance.
-    static_ipc, static_fails = biased[PredictorKind.ALWAYS_NOT_TAKEN]
-    gshare_ipc, gshare_fails = biased[PredictorKind.GSHARE]
-    assert gshare_fails < static_fails
-    assert gshare_ipc > static_ipc
+    sys.exit(main(["experiments", "run", "e12", "--echo", *sys.argv[1:]]))

@@ -1,79 +1,21 @@
-"""E13 — the power-efficiency claim.
+"""Pytest-benchmark adapter for E13 — the experiment itself lives in
+:mod:`repro.experiments.e13_energy`.
 
-Event-based energy for in-order / SST / OoO on the commercial suite:
-energy per committed instruction (including the cost of discarded
-speculative work) and ED².  Expected: SST's structures add modest
-energy over in-order — far less than rename/ROB/IQ/LSQ add to the OoO
-core — while its speed gives it the best ED² on miss-bound codes.
+Run it standalone (``python benchmarks/bench_e13_energy.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e13_energy.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import bench_commercial_suite, bench_hierarchy, run, save_table
-from repro.config import inorder_machine, ooo_machine, sst_machine
-from repro.power import estimate_energy
-from repro.stats.report import Table, geomean
+from repro.experiments import make_bench_test
+
+test_e13_energy = make_bench_test("e13")
 
 
-def experiment():
-    hierarchy = bench_hierarchy()
-    configs = [
-        inorder_machine(hierarchy),
-        sst_machine(hierarchy),
-        ooo_machine(hierarchy, rob_size=128),
-    ]
-    table = Table(
-        "E13: energy per instruction and ED2 (relative units)",
-        ["workload", "machine", "EPI", "window/ckpt EPI share",
-         "rel. ED2 vs inorder"],
-    )
-    epi = {config.name: [] for config in configs}
-    ed2_ratio = {config.name: [] for config in configs}
-    for program in bench_commercial_suite():
-        breakdowns = {}
-        for config in configs:
-            result = run(config, program)
-            breakdowns[config.name] = estimate_energy(result)
-        base_ed2 = breakdowns[configs[0].name].energy_delay_squared
-        for config in configs:
-            breakdown = breakdowns[config.name]
-            overhead_keys = {"rename", "rob", "issue_queue", "lsq",
-                             "checkpoints", "deferred_queue",
-                             "store_buffer", "na_bits"}
-            overhead = sum(value for key, value
-                           in breakdown.components.items()
-                           if key in overhead_keys)
-            share = overhead / breakdown.total
-            relative_ed2 = breakdown.energy_delay_squared / base_ed2
-            epi[config.name].append(breakdown.energy_per_instruction)
-            ed2_ratio[config.name].append(relative_ed2)
-            table.add_row(
-                program.name, config.name,
-                round(breakdown.energy_per_instruction, 1),
-                f"{share:.0%}",
-                round(relative_ed2, 3),
-            )
-    table.add_row(
-        "geomean EPI", "",
-        "/".join(f"{geomean(epi[c.name]):.0f}" for c in configs), "", "",
-    )
-    return table, epi, ed2_ratio
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def test_e13_energy(benchmark):
-    table, epi, ed2_ratio = benchmark.pedantic(experiment, rounds=1,
-                                               iterations=1)
-    save_table("e13_energy", table)
-    inorder_epi = geomean(epi["inorder-2w"])
-    sst_epi = geomean(epi["sst-2w-2ckpt"])
-    ooo_epi = geomean(epi["ooo-4w-rob128"])
-    benchmark.extra_info["epi"] = {
-        "inorder": round(inorder_epi, 1),
-        "sst": round(sst_epi, 1),
-        "ooo": round(ooo_epi, 1),
-    }
-    # SST costs more energy per instruction than in-order (speculation
-    # is not free) but less than the OoO machinery.
-    assert inorder_epi < sst_epi < ooo_epi
-    # And on miss-bound commercial codes SST has the best ED².
-    assert geomean(ed2_ratio["sst-2w-2ckpt"]) \
-        < geomean(ed2_ratio["ooo-4w-rob128"])
-    assert geomean(ed2_ratio["sst-2w-2ckpt"]) < 1.0
+    sys.exit(main(["experiments", "run", "e13", "--echo", *sys.argv[1:]]))

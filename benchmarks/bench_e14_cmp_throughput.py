@@ -1,72 +1,21 @@
-"""E14 — the chip-multiprocessor argument.
+"""Pytest-benchmark adapter for E14 — the experiment itself lives in
+:mod:`repro.experiments.e14_cmp_throughput`.
 
-Fix a die budget and an off-chip bandwidth limit; fill the die with
-in-order, SST, or OoO cores (area model); scale each core's measured
-single-core behaviour to chip throughput with bandwidth capping.
-Expected: SST's small-area, high-per-thread cores give the best chip
-throughput on the commercial mix — the reason ROCK was built this way.
+Run it standalone (``python benchmarks/bench_e14_cmp_throughput.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e14_cmp_throughput.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import bench_commercial_suite, bench_hierarchy, run, save_table
-from repro.config import (
-    InOrderConfig,
-    OoOConfig,
-    SSTConfig,
-    inorder_machine,
-    ooo_machine,
-    sst_machine,
-)
-from repro.power import chip_throughput, cores_per_die
-from repro.stats.report import Table, geomean
+from repro.experiments import make_bench_test
 
-DIE_BUDGET = 24.0  # relative units: ~24 scalar in-order cores
-CHIP_BW = 24.0  # bytes per cycle off-chip: fast cores can saturate it
+test_e14_cmp_throughput = make_bench_test("e14")
 
 
-def experiment():
-    hierarchy = bench_hierarchy()
-    points = [
-        ("inorder", inorder_machine(hierarchy), InOrderConfig(width=2)),
-        ("sst", sst_machine(hierarchy), SSTConfig(width=2)),
-        ("ooo-128", ooo_machine(hierarchy, rob_size=128),
-         OoOConfig(rob_size=128, iq_size=42, lsq_size=42)),
-    ]
-    table = Table(
-        f"E14: chip throughput at die budget {DIE_BUDGET:.0f}, "
-        f"bandwidth {CHIP_BW:.0f} B/cyc",
-        ["workload", "machine", "cores/die", "per-core IPC",
-         "BW-bound?", "chip IPC"],
-    )
-    chip_ipc = {name: [] for name, _, _ in points}
-    for program in bench_commercial_suite():
-        for name, machine, core_config in points:
-            cores = cores_per_die(core_config, DIE_BUDGET)
-            result = run(machine, program)
-            point = chip_throughput(result, cores=cores,
-                                    chip_bw_limit=CHIP_BW)
-            chip_ipc[name].append(point.throughput)
-            table.add_row(
-                program.name, name, cores,
-                round(point.per_core_ipc, 3),
-                "yes" if point.bandwidth_bound else "no",
-                round(point.throughput, 2),
-            )
-    table.add_row(
-        "geomean chip IPC", "", "", "", "",
-        "/".join(f"{geomean(chip_ipc[name]):.2f}" for name, _, _ in points),
-    )
-    return table, {name: geomean(values)
-                   for name, values in chip_ipc.items()}
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def test_e14_cmp_throughput(benchmark):
-    table, geomeans = benchmark.pedantic(experiment, rounds=1,
-                                         iterations=1)
-    save_table("e14_cmp_throughput", table)
-    benchmark.extra_info["chip_ipc_geomean"] = {
-        name: round(value, 3) for name, value in geomeans.items()
-    }
-    # The paper's thesis: a die of SST cores out-throughputs both a die
-    # of in-order cores and a die of big OoO cores on commercial work.
-    assert geomeans["sst"] > geomeans["inorder"]
-    assert geomeans["sst"] > geomeans["ooo-128"]
+    sys.exit(main(["experiments", "run", "e14", "--echo", *sys.argv[1:]]))

@@ -1,83 +1,21 @@
-"""E15 — TLB reach and defer-on-TLB-miss.
+"""Pytest-benchmark adapter for E15 — the experiment itself lives in
+:mod:`repro.experiments.e15_tlb`.
 
-Random probes over a table far beyond TLB reach make the table walk a
-first-class latency event.  Sweep TLB entries and toggle whether a
-walk opens a speculative episode: with the trigger on, walks are
-overlapped like cache misses; with it off they serialise.
+Run it standalone (``python benchmarks/bench_e15_tlb.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e15_tlb.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-import dataclasses
+from repro.experiments import make_bench_test
 
-from common import bench_hierarchy, run, save_table, scaled
-from repro.config import (
-    CoreKind,
-    MachineConfig,
-    SSTConfig,
-    TLBConfig,
-    inorder_machine,
-)
-from repro.stats.report import Table
-from repro.workloads import hash_join
-
-TLB_ENTRIES = (16, 64, 256)
+test_e15_tlb = make_bench_test("e15")
 
 
-def _hierarchy(entries: int):
-    return dataclasses.replace(
-        bench_hierarchy(),
-        tlb=TLBConfig(entries=entries, page_bytes=8192, walk_latency=120),
-    )
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def _sst(entries: int, defer_on_tlb: bool) -> MachineConfig:
-    suffix = "tlbdefer" if defer_on_tlb else "notlbdefer"
-    return MachineConfig(
-        core_kind=CoreKind.SST,
-        hierarchy=_hierarchy(entries),
-        sst=SSTConfig(defer_on_tlb_miss=defer_on_tlb),
-        name=f"sst-{entries}e-{suffix}",
-    )
-
-
-def experiment():
-    program = hash_join(table_words=scaled(1 << 16), probes=scaled(3000))
-    table = Table(
-        "E15: TLB reach and defer-on-TLB-miss (db-hashjoin)",
-        ["tlb entries", "tlb miss rate", "inorder IPC",
-         "sst IPC (defer on walk)", "sst IPC (no walk defer)"],
-    )
-    gains = []
-    for entries in TLB_ENTRIES:
-        base = run(inorder_machine(_hierarchy(entries)), program)
-        with_defer = run(_sst(entries, True), program)
-        without = run(_sst(entries, False), program)
-        gains.append(with_defer.ipc / max(without.ipc, 1e-9))
-        table.add_row(
-            entries,
-            f"{_tlb_miss_rate(entries, program):.0%}",
-            round(base.ipc, 3),
-            round(with_defer.ipc, 3),
-            round(without.ipc, 3),
-        )
-    return table, gains
-
-
-def _tlb_miss_rate(entries: int, program) -> float:
-    """Measure the TLB miss rate with a dedicated instrumented run."""
-    from repro.sim.machine import build_core, build_hierarchy
-
-    config = inorder_machine(_hierarchy(entries))
-    hierarchy = build_hierarchy(config.hierarchy)
-    core = build_core(config, program, hierarchy)
-    core.run(max_instructions=50_000_000)
-    return hierarchy.dtlb.stats.miss_rate
-
-
-def test_e15_tlb(benchmark):
-    table, gains = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e15_tlb", table)
-    benchmark.extra_info["defer_gains"] = [round(g, 3) for g in gains]
-    # Deferring on walks pays when walks are frequent (small TLB)...
-    assert gains[0] > 1.0
-    # ...and matters less once the TLB covers the working set.
-    assert gains[-1] <= gains[0] + 0.1
+    sys.exit(main(["experiments", "run", "e15", "--echo", *sys.argv[1:]]))

@@ -1,64 +1,21 @@
-"""E16 — ablation: which miss level opens an episode.
+"""Pytest-benchmark adapter for E16 — the experiment itself lives in
+:mod:`repro.experiments.e16_defer_trigger`.
 
-Defer on any L1 miss (aggressive: even an L2 hit parks the slice) vs
-defer only on DRAM-bound misses (conservative: L2 hits stall-on-use).
-Expected: L1-triggered deferral wins when L2 hit latency is large
-enough to be worth hiding, and the two converge on DRAM-dominated
-codes.
+Run it standalone (``python benchmarks/bench_e16_defer_trigger.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e16_defer_trigger.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import bench_hierarchy, run, save_table, scaled
-from repro.config import CoreKind, DeferTrigger, MachineConfig, SSTConfig
-from repro.stats.report import Table
-from repro.workloads import array_stream, hash_join, matrix_multiply
+from repro.experiments import make_bench_test
+
+test_e16_defer_trigger = make_bench_test("e16")
 
 
-def _machine(trigger: DeferTrigger) -> MachineConfig:
-    return MachineConfig(
-        core_kind=CoreKind.SST,
-        hierarchy=bench_hierarchy(),
-        sst=SSTConfig(defer_trigger=trigger),
-        name=f"sst-{trigger.value}",
-    )
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def experiment():
-    programs = [
-        hash_join(table_words=scaled(1 << 16), probes=scaled(3000)),  # DRAM-dominated
-        hash_join(table_words=scaled(1 << 13), probes=scaled(3000),
-                  name="db-hashjoin-l2"),  # 64KB: misses L1, lives in L2
-        array_stream(words=scaled(1 << 15)),
-        matrix_multiply(n=scaled(20, floor=8)),
-    ]
-    table = Table(
-        "E16: defer trigger level (L1 miss vs DRAM-bound miss)",
-        ["workload", "IPC defer@L1", "IPC defer@L2miss", "ratio",
-         "episodes@L1", "episodes@L2miss"],
-    )
-    ratios = {}
-    for program in programs:
-        aggressive = run(_machine(DeferTrigger.L1_MISS), program)
-        lazy = run(_machine(DeferTrigger.L2_MISS), program)
-        ratio = aggressive.ipc / max(lazy.ipc, 1e-9)
-        ratios[program.name] = ratio
-        table.add_row(
-            program.name,
-            round(aggressive.ipc, 3),
-            round(lazy.ipc, 3),
-            f"{ratio:.2f}x",
-            aggressive.extra["sst"].episodes,
-            lazy.extra["sst"].episodes,
-        )
-    return table, ratios
-
-
-def test_e16_defer_trigger(benchmark):
-    table, ratios = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e16_defer_trigger", table)
-    benchmark.extra_info["ratios"] = {k: round(v, 3)
-                                      for k, v in ratios.items()}
-    # An L2-resident working set is where L1-triggered deferral earns
-    # its keep (it hides the 20-cycle L2 hits).
-    assert ratios["db-hashjoin-l2"] > 1.02
-    # On the DRAM-dominated version the triggers converge.
-    assert 0.85 < ratios["db-hashjoin"] < 1.25
+    sys.exit(main(["experiments", "run", "e16", "--echo", *sys.argv[1:]]))

@@ -1,100 +1,21 @@
-"""E17 — simulated CMP scaling (true interleaved shared-L2/DRAM).
+"""Pytest-benchmark adapter for E17 — the experiment itself lives in
+:mod:`repro.experiments.e17_multicore`.
 
-Chips of 1/2/4/8 cores, each core on its own seed of the DB probe
-workload, with L2 capacity and MSHRs scaled with the core count (as a
-real chip would be — ROCK shipped a shared L2 sized for 16 cores) so
-the contention left is the off-chip channel.  Run at a generous and a
-starved DRAM bandwidth.
-
-Expected: the in-order chip scales almost linearly (its cores barely
-use the channel) but from a tiny base; the SST chip's aggregate is far
-above it at every point, scaling sublinearly as its speculative traffic
-meets the channel — and visibly flatter when the channel is starved.
-This is the simulated ground truth for E14's analytic model.
+Run it standalone (``python benchmarks/bench_e17_multicore.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e17_multicore.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import save_table, scaled
-from repro.cmp import Multicore
-from repro.config import (
-    CacheConfig,
-    DRAMConfig,
-    HierarchyConfig,
-    SSTConfig,
-)
-from repro.stats.report import Table
-from repro.workloads import hash_join
+from repro.experiments import make_bench_test
 
-CORE_COUNTS = (1, 2, 4, 8)
-# DRAM minimum start interval: 1 -> 64 B/cyc channel, 8 -> 8 B/cyc.
-BANDWIDTH_POINTS = {"wide": 1, "starved": 8}
+test_e17_multicore = make_bench_test("e17")
 
 
-def _hierarchy(cores: int, interval: int) -> HierarchyConfig:
-    return HierarchyConfig(
-        l1d=CacheConfig(size_bytes=16 * 1024, assoc=4, hit_latency=2,
-                        mshr_entries=16),
-        l1i=CacheConfig(size_bytes=16 * 1024, assoc=4, hit_latency=1,
-                        mshr_entries=4),
-        l2=CacheConfig(size_bytes=128 * 1024 * cores, assoc=8,
-                       hit_latency=20, mshr_entries=16 * cores),
-        dram=DRAMConfig(latency=300, min_interval=interval),
-    )
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def _programs(count: int):
-    return [
-        hash_join(table_words=scaled(1 << 14), probes=scaled(600), seed=seed,
-                  name=f"db-hashjoin-{seed}")
-        for seed in range(count)
-    ]
-
-
-def experiment():
-    table = Table(
-        "E17: simulated multicore scaling (shared L2 + DRAM channel)",
-        ["channel", "cores", "machine", "aggregate IPC",
-         "scaling efficiency"],
-    )
-    curves = {}
-    for channel, interval in BANDWIDTH_POINTS.items():
-        for kind, config in (("sst", SSTConfig(checkpoints=2)),
-                             ("inorder", SSTConfig(checkpoints=0))):
-            base = None
-            points = []
-            for count in CORE_COUNTS:
-                result = Multicore(
-                    _hierarchy(count, interval), [config] * count,
-                    _programs(count),
-                ).run()
-                aggregate = result.aggregate_ipc
-                if base is None:
-                    base = aggregate
-                points.append(aggregate)
-                table.add_row(
-                    channel, count, kind, round(aggregate, 3),
-                    f"{aggregate / (count * base):.0%}",
-                )
-            curves[(channel, kind)] = points
-    return table, curves
-
-
-def test_e17_multicore(benchmark):
-    table, curves = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e17_multicore", table)
-    benchmark.extra_info["aggregate_ipc"] = {
-        f"{channel}/{kind}": [round(v, 3) for v in values]
-        for (channel, kind), values in curves.items()
-    }
-    for channel in BANDWIDTH_POINTS:
-        sst = curves[(channel, "sst")]
-        inorder = curves[(channel, "inorder")]
-        # Throughput grows with cores, sublinearly for the SST chip.
-        assert sst[-1] > sst[0]
-        assert sst[-1] < 8 * sst[0]
-        # The SST chip out-throughputs the in-order chip everywhere.
-        for sst_ipc, inorder_ipc in zip(sst, inorder):
-            assert sst_ipc > inorder_ipc
-    # Starving the channel flattens the SST curve specifically.
-    assert curves[("starved", "sst")][-1] < curves[("wide", "sst")][-1]
-    assert (curves[("starved", "inorder")][-1]
-            > 0.9 * curves[("wide", "inorder")][-1])
+    sys.exit(main(["experiments", "run", "e17", "--echo", *sys.argv[1:]]))

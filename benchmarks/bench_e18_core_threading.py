@@ -1,84 +1,21 @@
-"""E18 — two hardware strands per core: two threads, or one SST thread?
+"""Pytest-benchmark adapter for E18 — the experiment itself lives in
+:mod:`repro.experiments.e18_core_threading`.
 
-ROCK gives each core two hardware strands.  Software can use them as
-two application threads (throughput mode: modelled as two width-1
-contexts sharing the core's L1/TLB and issue capacity), or dedicate
-both to one thread as its ahead+replay pair (SST mode: one 2-wide SST
-core).  This experiment runs both on the DB probe workload.
-
-Expected: dedicating both strands to one thread wins per-thread
-latency by construction; the interesting result is that on miss-bound
-work it wins *throughput* too — two in-order threads overlap only each
-other's stalls (memory-level parallelism ≈ 2) while one SST thread
-overlaps tens of its own misses.  Threading only catches up when each
-thread is individually compute-bound.  This asymmetry is why using the
-second strand for SST, not just SMT, was worth silicon.
+Run it standalone (``python benchmarks/bench_e18_core_threading.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e18_core_threading.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import bench_hierarchy, run, save_table, scaled
-from repro.cmp import Multicore
-from repro.config import SSTConfig, sst_machine
-from repro.stats.report import Table
-from repro.workloads import hash_join
+from repro.experiments import make_bench_test
+
+test_e18_core_threading = make_bench_test("e18")
 
 
-def _program(seed: int):
-    return hash_join(table_words=scaled(1 << 14), probes=scaled(800), seed=seed,
-                     name=f"db-hashjoin-{seed}")
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def experiment():
-    hierarchy = bench_hierarchy()
-    table = Table(
-        "E18: one core, two strands — threading vs SST",
-        ["configuration", "threads", "per-thread IPC",
-         "core throughput (IPC)"],
-    )
-
-    # (a) Both strands serve one thread: a 2-wide SST core.
-    sst = run(sst_machine(hierarchy, width=2), _program(0))
-    table.add_row("SST (both strands, 1 thread)", 1,
-                  round(sst.ipc, 3), round(sst.ipc, 3))
-
-    # (b) Two in-order threads share the core (width 1 each, shared
-    # L1/TLB, shared L2 path).
-    duo = Multicore(
-        hierarchy,
-        [SSTConfig(width=1, checkpoints=0)] * 2,
-        [_program(0), _program(1)],
-        share_l1=True,
-    ).run()
-    per_thread = duo.aggregate_ipc / 2
-    table.add_row("2 in-order threads", 2, round(per_thread, 3),
-                  round(duo.aggregate_ipc, 3))
-
-    # (c) Two SST threads share the core (width 1 each): speculation
-    # per thread *and* thread-level overlap, fighting for one L1.
-    duo_sst = Multicore(
-        hierarchy,
-        [SSTConfig(width=1, checkpoints=2)] * 2,
-        [_program(0), _program(1)],
-        share_l1=True,
-    ).run()
-    table.add_row("2 SST threads", 2,
-                  round(duo_sst.aggregate_ipc / 2, 3),
-                  round(duo_sst.aggregate_ipc, 3))
-
-    return table, {
-        "sst_single": sst.ipc,
-        "duo_inorder": duo.aggregate_ipc,
-        "duo_sst": duo_sst.aggregate_ipc,
-    }
-
-
-def test_e18_core_threading(benchmark):
-    table, metrics = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e18_core_threading", table)
-    benchmark.extra_info["metrics"] = {
-        key: round(value, 3) for key, value in metrics.items()
-    }
-    # Per-thread latency: dedicating both strands to one thread (SST)
-    # must beat a thread's share of the threaded core.
-    assert metrics["sst_single"] > metrics["duo_inorder"] / 2
-    # Speculating threads beat plain threads at equal thread count.
-    assert metrics["duo_sst"] > metrics["duo_inorder"]
+    sys.exit(main(["experiments", "run", "e18", "--echo", *sys.argv[1:]]))

@@ -1,55 +1,21 @@
-"""E1 — per-workload speedup of scout / execute-ahead / SST over the
-in-order baseline (the paper's core progression figure).
+"""Pytest-benchmark adapter for E1 — the experiment itself lives in
+:mod:`repro.experiments.e01_speedup_over_inorder`.
 
-Expected shape: every speculative mode >= 1.0x on the miss-bound
-commercial workloads, ordered scout <= EA <= SST on the geomean, with
-the compute-bound contrast workloads showing little gain.
+Run it standalone (``python benchmarks/bench_e1_speedup_over_inorder.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e1_speedup_over_inorder.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import (
-    bench_full_suite,
-    bench_hierarchy,
-    paper_machines,
-    run_matrix,
-    save_table,
-)
-from repro.stats.report import Table, geomean
+from repro.experiments import make_bench_test
+
+test_e1_speedup_over_inorder = make_bench_test("e1")
 
 
-def experiment():
-    programs = bench_full_suite()
-    configs = paper_machines(bench_hierarchy())
-    matrix = run_matrix(programs, configs)
-    baseline_name = configs[0].name
-    table = Table(
-        "E1: speedup over the in-order core",
-        ["workload", "inorder IPC", "scout", "execute-ahead", "sst"],
-    )
-    speedups = {config.name: [] for config in configs[1:]}
-    for program in programs:
-        results = matrix[program.name]
-        base = results[baseline_name]
-        row = [program.name, round(base.ipc, 3)]
-        for config in configs[1:]:
-            speedup = results[config.name].speedup_over(base)
-            speedups[config.name].append(speedup)
-            row.append(f"{speedup:.2f}x")
-        table.add_row(*row)
-    table.add_row(
-        "geomean", "",
-        *(f"{geomean(values):.2f}x" for values in speedups.values()),
-    )
-    return table, speedups
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def test_e1_speedup_over_inorder(benchmark):
-    table, speedups = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e1_speedup_over_inorder", table)
-    sst = geomean(speedups["sst-2w-2ckpt"])
-    ea = geomean(speedups["ea-2w"])
-    scout = geomean(speedups["scout-2w"])
-    benchmark.extra_info["geomean_sst"] = round(sst, 3)
-    benchmark.extra_info["geomean_ea"] = round(ea, 3)
-    benchmark.extra_info["geomean_scout"] = round(scout, 3)
-    assert sst > 1.5
-    assert sst >= ea * 0.98 >= scout * 0.9
+    sys.exit(main(["experiments", "run", "e1", "--echo", *sys.argv[1:]]))

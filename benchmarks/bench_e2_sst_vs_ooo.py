@@ -1,68 +1,21 @@
-"""E2 — the abstract's headline: SST per-thread performance vs
-"larger and higher-powered" out-of-order cores (ROB 32/64/128).
+"""Pytest-benchmark adapter for E2 — the experiment itself lives in
+:mod:`repro.experiments.e02_sst_vs_ooo`.
 
-Expected shape: on the *commercial* (miss-bound) suite the 2-wide SST
-core beats even the 4-wide ROB-128 OoO core by tens of percent
-(the paper reports 18%); on the compute suite the OoO cores win.
+Run it standalone (``python benchmarks/bench_e2_sst_vs_ooo.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e2_sst_vs_ooo.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import (
-    bench_commercial_suite,
-    bench_compute_suite,
-    bench_hierarchy,
-    ooo_comparators,
-    run_matrix,
-    save_table,
-)
-from repro.config import sst_machine
-from repro.stats.report import Table, geomean
+from repro.experiments import make_bench_test
+
+test_e2_sst_vs_ooo = make_bench_test("e2")
 
 
-def experiment():
-    hierarchy = bench_hierarchy()
-    configs = [sst_machine(hierarchy)] + ooo_comparators(hierarchy)
-    commercial = bench_commercial_suite()
-    compute = bench_compute_suite()
-    matrix = run_matrix(commercial + compute, configs)
+if __name__ == "__main__":
+    import sys
 
-    table = Table(
-        "E2: IPC of SST vs out-of-order cores (per-thread)",
-        ["workload", "suite"] + [config.name for config in configs],
-    )
-    ratios = {"commercial": [], "compute": []}
-    for suite_name, programs in (("commercial", commercial),
-                                 ("compute", compute)):
-        for program in programs:
-            results = matrix[program.name]
-            table.add_row(
-                program.name, suite_name,
-                *(round(results[config.name].ipc, 3) for config in configs),
-            )
-            ratios[suite_name].append(
-                results[configs[0].name].speedup_over(
-                    results["ooo-4w-rob128"]
-                )
-            )
-    table.add_row(
-        "sst vs ooo-128 geomean", "commercial",
-        f"{geomean(ratios['commercial']):.2f}x", "", "", "",
-    )
-    table.add_row(
-        "sst vs ooo-128 geomean", "compute",
-        f"{geomean(ratios['compute']):.2f}x", "", "", "",
-    )
-    return table, ratios
+    from repro.cli import main
 
-
-def test_e2_sst_vs_ooo(benchmark):
-    table, ratios = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e2_sst_vs_ooo", table)
-    commercial = geomean(ratios["commercial"])
-    compute = geomean(ratios["compute"])
-    benchmark.extra_info["sst_vs_ooo128_commercial"] = round(commercial, 3)
-    benchmark.extra_info["sst_vs_ooo128_compute"] = round(compute, 3)
-    # The paper's claim: better per-thread performance on commercial
-    # workloads than a larger OoO (18% there; shape, not the constant).
-    assert commercial > 1.1
-    # ...and an honest reproduction shows OoO ahead on compute codes.
-    assert compute < 1.0
+    sys.exit(main(["experiments", "run", "e2", "--echo", *sys.argv[1:]]))

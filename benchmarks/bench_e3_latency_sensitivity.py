@@ -1,54 +1,21 @@
-"""E3 — memory-latency sensitivity.
+"""Pytest-benchmark adapter for E3 — the experiment itself lives in
+:mod:`repro.experiments.e03_latency_sensitivity`.
 
-Sweep DRAM latency 100..800 cycles: the in-order core degrades almost
-linearly with latency while SST hides a growing fraction of it, so
-SST's speedup must *grow* with latency.
+Run it standalone (``python benchmarks/bench_e3_latency_sensitivity.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e3_latency_sensitivity.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import bench_hierarchy, run, save_table, scaled
-from repro.config import inorder_machine, sst_machine
-from repro.stats.report import Table
-from repro.workloads import hash_join, pointer_chase
+from repro.experiments import make_bench_test
 
-LATENCIES = (100, 200, 400, 800)
+test_e3_latency_sensitivity = make_bench_test("e3")
 
 
-def experiment():
-    programs = [
-        hash_join(table_words=scaled(1 << 16), probes=scaled(3000)),
-        pointer_chase(chains=4, nodes_per_chain=scaled(2048),
-                      hops=scaled(2500)),
-    ]
-    table = Table(
-        "E3: SST speedup over in-order vs DRAM latency",
-        ["workload"] + [f"{latency} cyc" for latency in LATENCIES],
-    )
-    curves = {}
-    for program in programs:
-        row = [program.name]
-        curve = []
-        for latency in LATENCIES:
-            hierarchy = bench_hierarchy(latency=latency)
-            base = run(inorder_machine(hierarchy), program)
-            fast = run(sst_machine(hierarchy), program)
-            speedup = fast.speedup_over(base)
-            curve.append(speedup)
-            row.append(f"{speedup:.2f}x")
-        curves[program.name] = curve
-        table.add_row(*row)
-    return table, curves
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def test_e3_latency_sensitivity(benchmark):
-    table, curves = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e3_latency_sensitivity", table)
-    for name, curve in curves.items():
-        benchmark.extra_info[name] = [round(s, 2) for s in curve]
-    # Independent-miss workloads: the benefit grows with the wall.
-    hashjoin = curves["db-hashjoin"]
-    assert hashjoin[-1] > hashjoin[0]
-    # Dependent chains bound MLP at the chain count, so the chase
-    # speedup stays roughly flat (the chain itself scales with latency
-    # on every machine) rather than growing.
-    chase = curves["oltp-chase"]
-    assert 0.6 * chase[0] < chase[-1] < 1.6 * chase[0]
+    sys.exit(main(["experiments", "run", "e3", "--echo", *sys.argv[1:]]))

@@ -1,50 +1,21 @@
-"""E4 — deferred-queue sizing.
+"""Pytest-benchmark adapter for E4 — the experiment itself lives in
+:mod:`repro.experiments.e04_dq_size`.
 
-The DQ holds only the *dependence slice* of outstanding misses, so a
-modest DQ already covers a large effective window; a starved DQ forces
-scout fallbacks.  Expected: steep gains up to a few tens of entries,
-then diminishing returns.
+Run it standalone (``python benchmarks/bench_e4_dq_size.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e4_dq_size.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-import dataclasses
+from repro.experiments import make_bench_test
 
-from common import bench_hierarchy, run, save_table, scaled
-from repro.config import inorder_machine, sst_machine
-from repro.stats.report import Table
-from repro.workloads import hash_join
-
-DQ_SIZES = (4, 8, 16, 32, 64, 128)
+test_e4_dq_size = make_bench_test("e4")
 
 
-def experiment():
-    program = hash_join(table_words=scaled(1 << 16), probes=scaled(3000))
-    hierarchy = bench_hierarchy()
-    base = run(inorder_machine(hierarchy), program)
-    table = Table(
-        "E4: SST speedup and scout fallbacks vs DQ size",
-        ["dq_size", "speedup", "scout sessions", "mean DQ occupancy"],
-    )
-    curve = []
-    for dq_size in DQ_SIZES:
-        machine = sst_machine(hierarchy, dq_size=dq_size)
-        machine = dataclasses.replace(machine, name=f"sst-dq{dq_size}")
-        result = run(machine, program)
-        stats = result.extra["sst"]
-        speedup = result.speedup_over(base)
-        curve.append(speedup)
-        table.add_row(
-            dq_size,
-            f"{speedup:.2f}x",
-            stats.total_scout_sessions,
-            round(result.extra["dq_occupancy"].mean, 1),
-        )
-    return table, curve
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def test_e4_dq_size(benchmark):
-    table, curve = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e4_dq_size", table)
-    benchmark.extra_info["speedups"] = [round(s, 2) for s in curve]
-    assert curve[-1] > curve[0] * 1.3  # small DQ clearly starves
-    # Diminishing returns at the top end.
-    assert curve[-1] <= curve[-2] * 1.25
+    sys.exit(main(["experiments", "run", "e4", "--echo", *sys.argv[1:]]))

@@ -1,58 +1,21 @@
-"""E5 — checkpoint count: the EA -> SST step.
+"""Pytest-benchmark adapter for E5 — the experiment itself lives in
+:mod:`repro.experiments.e05_checkpoints`.
 
-1 checkpoint = execute-ahead (replay pauses the ahead strand);
-2 checkpoints = SST (the paper's design point); more checkpoints let
-more epochs pipeline.  Expected: the 1 -> 2 step is the big one.
+Run it standalone (``python benchmarks/bench_e5_checkpoints.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e5_checkpoints.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-import dataclasses
+from repro.experiments import make_bench_test
 
-from common import bench_hierarchy, run, save_table, scaled
-from repro.config import inorder_machine, sst_machine
-from repro.stats.report import Table, geomean
-from repro.workloads import hash_join, pointer_chase, store_stream
-
-CHECKPOINTS = (1, 2, 4, 8)
+test_e5_checkpoints = make_bench_test("e5")
 
 
-def experiment():
-    hierarchy = bench_hierarchy()
-    programs = [
-        hash_join(table_words=scaled(1 << 16), probes=scaled(3000)),
-        pointer_chase(chains=4, nodes_per_chain=scaled(2048),
-                      hops=scaled(2500)),
-        store_stream(records=scaled(2000), payload_words=8,
-                     table_words=scaled(1 << 16)),
-    ]
-    table = Table(
-        "E5: speedup over in-order vs number of checkpoints",
-        ["workload"] + [f"{k} ckpt" for k in CHECKPOINTS],
-    )
-    per_k = {k: [] for k in CHECKPOINTS}
-    for program in programs:
-        base = run(inorder_machine(hierarchy), program)
-        row = [program.name]
-        for k in CHECKPOINTS:
-            machine = dataclasses.replace(
-                sst_machine(hierarchy, checkpoints=k), name=f"sst-{k}ckpt"
-            )
-            speedup = run(machine, program).speedup_over(base)
-            per_k[k].append(speedup)
-            row.append(f"{speedup:.2f}x")
-        table.add_row(*row)
-    table.add_row(
-        "geomean", *(f"{geomean(per_k[k]):.2f}x" for k in CHECKPOINTS)
-    )
-    return table, {k: geomean(values) for k, values in per_k.items()}
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def test_e5_checkpoints(benchmark):
-    table, geomeans = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e5_checkpoints", table)
-    benchmark.extra_info["geomeans"] = {
-        str(k): round(value, 3) for k, value in geomeans.items()
-    }
-    step_1_2 = geomeans[2] / geomeans[1]
-    step_2_8 = geomeans[8] / geomeans[2]
-    assert step_1_2 > 1.02  # EA -> SST is a real step
-    assert step_2_8 < step_1_2 + 0.25  # and the dominant one
+    sys.exit(main(["experiments", "run", "e5", "--echo", *sys.argv[1:]]))

@@ -1,47 +1,21 @@
-"""E6 — memory-level parallelism and prefetch coverage.
+"""Pytest-benchmark adapter for E6 — the experiment itself lives in
+:mod:`repro.experiments.e06_mlp_scout`.
 
-How each mode turns serial misses into overlapped ones: demand DRAM
-accesses, misses merged into in-flight fills (the MLP signature), the
-SST core's peak outstanding deferred misses, and scout prefetches.
+Run it standalone (``python benchmarks/bench_e6_mlp_scout.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e6_mlp_scout.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import bench_hierarchy, paper_machines, run, save_table, scaled
-from repro.stats.report import Table
-from repro.workloads import hash_join
+from repro.experiments import make_bench_test
+
+test_e6_mlp_scout = make_bench_test("e6")
 
 
-def experiment():
-    program = hash_join(table_words=scaled(1 << 16), probes=scaled(3000))
-    table = Table(
-        "E6: MLP and prefetch coverage on db-hashjoin",
-        ["machine", "cycles", "dram accesses", "merges",
-         "peak outstanding", "scout prefetches"],
-    )
-    rows = {}
-    for config in paper_machines(bench_hierarchy()):
-        result = run(config, program)
-        hierarchy_stats = result.extra["hierarchy"]
-        sst_stats = result.extra.get("sst")
-        peak = sst_stats.peak_outstanding_misses if sst_stats else 0
-        scout_prefetches = sst_stats.scout_prefetches if sst_stats else 0
-        table.add_row(
-            config.name,
-            result.cycles,
-            hierarchy_stats.demand_dram,
-            hierarchy_stats.demand_merges,
-            peak,
-            scout_prefetches,
-        )
-        rows[config.name] = result.cycles
-    return table, rows
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def test_e6_mlp_scout(benchmark):
-    table, cycles = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e6_mlp_scout", table)
-    benchmark.extra_info["cycles"] = cycles
-    # Every speculative mode beats in-order on this workload.
-    base = cycles["inorder-2w"]
-    for name, value in cycles.items():
-        if name != "inorder-2w":
-            assert value < base
+    sys.exit(main(["experiments", "run", "e6", "--echo", *sys.argv[1:]]))

@@ -1,52 +1,21 @@
-"""E7 — speculation outcome table.
+"""Pytest-benchmark adapter for E7 — the experiment itself lives in
+:mod:`repro.experiments.e07_outcomes`.
 
-Per workload: episodes, commits (full + region), failures by cause,
-scout sessions, and discarded work.  Expected: the commercial mixes
-mostly commit; branch-heavy codes fail more and pointer codes lean on
-scout when resources starve.
+Run it standalone (``python benchmarks/bench_e7_outcomes.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e7_outcomes.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import bench_full_suite, bench_hierarchy, run, save_table
-from repro.config import sst_machine
-from repro.core import FailCause
-from repro.stats.report import Table
+from repro.experiments import make_bench_test
+
+test_e7_outcomes = make_bench_test("e7")
 
 
-def experiment():
-    table = Table(
-        "E7: speculation outcomes (SST core)",
-        ["workload", "episodes", "full commits", "region commits",
-         "branch fails", "jump fails", "order fails", "scouts",
-         "discarded insts"],
-    )
-    outcomes = {}
-    for program in bench_full_suite():
-        result = run(sst_machine(bench_hierarchy()), program)
-        stats = result.extra["sst"]
-        table.add_row(
-            program.name,
-            stats.episodes,
-            stats.full_commits,
-            stats.region_commits,
-            stats.fails[FailCause.DEFERRED_BRANCH_MISPREDICT],
-            stats.fails[FailCause.DEFERRED_JUMP_MISPREDICT],
-            stats.fails[FailCause.MEMORY_ORDER_VIOLATION],
-            stats.total_scout_sessions,
-            stats.discarded_insts,
-        )
-        outcomes[program.name] = stats
-    return table, outcomes
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def test_e7_outcomes(benchmark):
-    table, outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e7_outcomes", table)
-    # Branch-fed-by-miss workloads fail most.
-    branchy = outcomes["int-branchy"]
-    stream = outcomes["fp-stream"]
-    assert (branchy.fails[FailCause.DEFERRED_BRANCH_MISPREDICT]
-            > stream.fails[FailCause.DEFERRED_BRANCH_MISPREDICT])
-    # The DB probe loop overwhelmingly commits.
-    hashjoin = outcomes["db-hashjoin"]
-    assert hashjoin.full_commits + hashjoin.region_commits \
-        > 10 * hashjoin.total_fails
+    sys.exit(main(["experiments", "run", "e7", "--echo", *sys.argv[1:]]))

@@ -1,52 +1,21 @@
-"""E8 — speculative store-buffer sizing.
+"""Pytest-benchmark adapter for E8 — the experiment itself lives in
+:mod:`repro.experiments.e08_sb_size`.
 
-The store-burst workload fills the SB during each episode; a shallow SB
-forces scout fallbacks and forfeits retirement.  Expected: speedup
-climbs with SB depth until the burst fits, then flattens.
+Run it standalone (``python benchmarks/bench_e8_sb_size.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e8_sb_size.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-import dataclasses
+from repro.experiments import make_bench_test
 
-from common import bench_hierarchy, run, save_table, scaled
-from repro.config import inorder_machine, sst_machine
-from repro.stats.report import Table
-from repro.workloads import store_stream
-
-SB_SIZES = (4, 8, 16, 32, 64)
+test_e8_sb_size = make_bench_test("e8")
 
 
-def experiment():
-    program = store_stream(records=scaled(2000), payload_words=8,
-                           table_words=scaled(1 << 16))
-    hierarchy = bench_hierarchy()
-    base = run(inorder_machine(hierarchy), program)
-    table = Table(
-        "E8: SST speedup and SB pressure vs store-buffer size",
-        ["sb_size", "speedup", "sb-full scouts", "mean SB occupancy"],
-    )
-    curve = []
-    for sb_size in SB_SIZES:
-        machine = dataclasses.replace(
-            sst_machine(hierarchy, sb_size=sb_size), name=f"sst-sb{sb_size}"
-        )
-        result = run(machine, program)
-        stats = result.extra["sst"]
-        from repro.core import ScoutCause
+if __name__ == "__main__":
+    import sys
 
-        speedup = result.speedup_over(base)
-        curve.append(speedup)
-        table.add_row(
-            sb_size,
-            f"{speedup:.2f}x",
-            stats.scout_sessions[ScoutCause.SB_FULL],
-            round(result.extra["sb_occupancy"].mean, 1),
-        )
-    return table, curve
+    from repro.cli import main
 
-
-def test_e8_sb_size(benchmark):
-    table, curve = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e8_sb_size", table)
-    benchmark.extra_info["speedups"] = [round(s, 2) for s in curve]
-    assert curve[-1] > curve[0]  # depth helps the store burst
-    assert curve[-1] <= curve[-2] * 1.2  # then flattens
+    sys.exit(main(["experiments", "run", "e8", "--echo", *sys.argv[1:]]))

@@ -1,46 +1,21 @@
-"""E9 — where the cycles go: execution-mode breakdown per workload.
+"""Pytest-benchmark adapter for E9 — the experiment itself lives in
+:mod:`repro.experiments.e09_mode_breakdown`.
 
-Miss-bound workloads should live in EXECUTE_AHEAD/SST; compute-bound
-ones in NORMAL; resource-starved or chain-bound ones show SCOUT and
-REPLAY_ONLY time.
+Run it standalone (``python benchmarks/bench_e9_mode_breakdown.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e9_mode_breakdown.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
 """
 
-from common import bench_full_suite, bench_hierarchy, run, save_table
-from repro.config import sst_machine
-from repro.core import ExecMode
-from repro.stats.report import Table
+from repro.experiments import make_bench_test
 
-MODES = [ExecMode.NORMAL, ExecMode.EXECUTE_AHEAD, ExecMode.SST,
-         ExecMode.REPLAY_ONLY, ExecMode.SCOUT]
+test_e9_mode_breakdown = make_bench_test("e9")
 
 
-def experiment():
-    table = Table(
-        "E9: fraction of cycles per execution mode (SST core)",
-        ["workload"] + [mode.value for mode in MODES],
-    )
-    fractions = {}
-    for program in bench_full_suite():
-        result = run(sst_machine(bench_hierarchy()), program)
-        mode_cycles = result.extra["sst"].mode_cycles
-        total = max(sum(mode_cycles.values()), 1)
-        shares = {
-            mode: mode_cycles[mode.value] / total for mode in MODES
-        }
-        fractions[program.name] = shares
-        table.add_row(
-            program.name,
-            *(f"{shares[mode]:.2f}" for mode in MODES),
-        )
-    return table, fractions
+if __name__ == "__main__":
+    import sys
 
+    from repro.cli import main
 
-def test_e9_mode_breakdown(benchmark):
-    table, fractions = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    save_table("e9_mode_breakdown", table)
-    # Miss-bound DB probe spends most cycles speculating...
-    db = fractions["db-hashjoin"]
-    assert db[ExecMode.EXECUTE_AHEAD] + db[ExecMode.SST] > 0.5
-    # ...while the cache-resident kernel stays mostly normal.
-    matmul = fractions["compute-matmul"]
-    assert matmul[ExecMode.NORMAL] > 0.5
+    sys.exit(main(["experiments", "run", "e9", "--echo", *sys.argv[1:]]))

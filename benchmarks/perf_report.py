@@ -15,34 +15,51 @@ performance trajectory, ``skip_fraction`` / ``l1d_fastpath_fraction``
 explain *why* it moved (how much of the simulated time was never
 stepped, how many accesses took the single-probe hit path).
 
-``run_all.py --perf-smoke`` wraps this measurement and compares it
-against the committed baseline ``benchmarks/BENCH_smoke.json``.
+:func:`run_perf_smoke` (also reachable as ``run_all.py --perf-smoke``)
+wraps this measurement and compares it against the committed baseline
+``benchmarks/BENCH_smoke.json``, resolved through the results layer so
+it works from any cwd.
 
 Usage::
 
     python benchmarks/perf_report.py                # full tiny snapshot
     python benchmarks/perf_report.py --tag nightly  # custom tag
+
+Requires the ``repro`` package to be importable (``pip install -e .``
+or ``PYTHONPATH=src``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
 import time
 from typing import Any, Dict, List, Optional
 
-BENCH_DIR = pathlib.Path(__file__).parent
+try:
+    from repro.experiments import BenchEnv, perf_baseline_path
+    from repro.experiments.results import default_results_dir
+except ImportError as exc:  # pragma: no cover — setup error, not logic
+    raise SystemExit(
+        "error: the `repro` package is not importable "
+        f"({exc}).\nInstall it (`pip install -e .`) or run with "
+        "`PYTHONPATH=src`."
+    ) from None
+
+from repro.cmp import Multicore
+from repro.config import SSTConfig
+from repro.sim.machine import Machine
+from repro.workloads import hash_join
 
 REPORT_SCHEMA = 1
 
-
-def _ensure_paths() -> None:
-    for path in (BENCH_DIR, BENCH_DIR.parent / "src"):
-        if str(path) not in sys.path:
-            sys.path.insert(0, str(path))
+# Default regression gate for run_perf_smoke (CLI flag --perf-tolerance
+# in run_all.py overrides it per run).
+DEFAULT_PERF_TOLERANCE = 0.30
 
 
 # ---------------------------------------------------------------------------
@@ -123,8 +140,8 @@ def aggregate(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
 def write_report(payload: Dict[str, Any],
                  path: Optional[pathlib.Path] = None) -> pathlib.Path:
     if path is None:
-        results_dir = BENCH_DIR / "results"
-        results_dir.mkdir(exist_ok=True)
+        results_dir = default_results_dir()
+        results_dir.mkdir(parents=True, exist_ok=True)
         path = results_dir / f"BENCH_{payload['tag']}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
@@ -142,44 +159,32 @@ def measure(tag: str = "report") -> Dict[str, Any]:
     snapshot always simulates: every point goes straight through
     :class:`repro.sim.machine.Machine`.
     """
-    _ensure_paths()
-    from common import (
-        BENCH_MAX_INSTRUCTIONS,
-        bench_commercial_suite,
-        bench_compute_suite,
-        bench_hierarchy,
-        ooo_comparators,
-        paper_machines,
-        scaled,
-    )
-    from repro.cmp import Multicore
-    from repro.config import SSTConfig
-    from repro.sim.machine import Machine
-    from repro.workloads import hash_join
-
-    hierarchy = bench_hierarchy()
-    configs = paper_machines(hierarchy) + [ooo_comparators(hierarchy)[-1]]
-    programs = bench_commercial_suite() + bench_compute_suite()
+    env = BenchEnv(cache=None)
+    hierarchy = env.hierarchy()
+    configs = env.paper_machines(hierarchy) + [
+        env.ooo_comparators(hierarchy)[-1]
+    ]
+    programs = env.commercial_suite() + env.compute_suite()
 
     entries: List[Dict[str, Any]] = []
     for config in configs:
         for program in programs:
             result = Machine(config).run(
-                program, max_instructions=BENCH_MAX_INSTRUCTIONS
+                program, max_instructions=env.max_instructions
             )
             entries.append(perf_entry(result, machine=config.name))
 
     # One interleaved multicore point (the e17 shape, 4 cores).
     cores = 4
     cmp_programs = [
-        hash_join(table_words=scaled(1 << 14), probes=scaled(600),
+        hash_join(table_words=env.scaled(1 << 14), probes=env.scaled(600),
                   seed=seed, name=f"db-hashjoin-{seed}")
         for seed in range(cores)
     ]
     started = time.perf_counter()
     cmp_result = Multicore(
         hierarchy, [SSTConfig(checkpoints=2)] * cores, cmp_programs
-    ).run(max_instructions=BENCH_MAX_INSTRUCTIONS)
+    ).run(max_instructions=env.max_instructions)
     cmp_wall = time.perf_counter() - started
     cmp_entry = {
         "machine": f"sst-cmp{cores}",
@@ -230,6 +235,60 @@ def render(payload: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# The --perf-smoke regression gate.
+# ---------------------------------------------------------------------------
+
+
+def run_perf_smoke(tolerance: float = DEFAULT_PERF_TOLERANCE,
+                   baseline_path: Optional[pathlib.Path] = None) -> int:
+    """Measure simulator throughput (tiny scale) against the committed
+    ``BENCH_smoke.json`` baseline.
+
+    The fresh snapshot always replaces the file — ``git diff`` shows the
+    trajectory, and committing it records a new baseline.  The previous
+    (committed) numbers are read *before* the overwrite and the run
+    fails if aggregate insts/host-second dropped by more than
+    ``tolerance`` (a fraction: 0.30 fails on a >30% regression).
+    """
+    os.environ["REPRO_BENCH_SMOKE"] = "1"
+    if baseline_path is None:
+        baseline_path = perf_baseline_path()
+
+    baseline = None
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        pass
+
+    payload = measure(tag="smoke")
+    print(render(payload))
+    write_report(payload, baseline_path)
+    print(f"wrote {baseline_path}")
+
+    if baseline is None:
+        print("no committed baseline found; snapshot recorded, "
+              "nothing to compare")
+        return 0
+    try:
+        old = baseline["aggregate"]["total"]["insts_per_host_second"]
+    except (KeyError, TypeError):
+        print("committed baseline is unreadable; snapshot recorded")
+        return 0
+    new = payload["aggregate"]["total"]["insts_per_host_second"]
+    if not old or not new:
+        return 0
+    ratio = new / old
+    print(f"throughput vs committed baseline: {ratio:.2f}x "
+          f"({old} -> {new} insts/host-sec)")
+    if ratio < 1.0 - tolerance:
+        print(f"FAIL: simulator throughput regressed more than "
+              f"{tolerance:.0%} vs the committed baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Emit a BENCH_<tag>.json simulator-throughput "
@@ -242,8 +301,6 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="tiny workloads (sets REPRO_BENCH_SMOKE=1)")
     args = parser.parse_args(argv)
     if args.smoke:
-        import os
-
         os.environ["REPRO_BENCH_SMOKE"] = "1"
     payload = measure(tag=args.tag)
     path = write_report(

@@ -1,12 +1,11 @@
 #!/usr/bin/env python
 """Run the whole 18-experiment evaluation in one command.
 
-Each ``bench_e*.py`` module is executed in its own worker process (the
-experiments are independent), so ``--jobs 4`` overlaps four experiments
-at a time.  Workers run their simulations single-threaded
-(``REPRO_JOBS=1``) to avoid nested pools; results go through the shared
-content-addressed cache, so a re-run after an interrupted sweep only
-simulates the missing points.
+This script is a thin adapter over the ``repro`` CLI — the experiments
+themselves live in :mod:`repro.experiments` and everything here maps
+1:1 onto ``repro experiments run`` (plus the ``--perf-smoke``
+simulator-throughput gate from :mod:`perf_report`).  Kept for muscle
+memory and old docs; new workflows should call the CLI directly.
 
 Examples::
 
@@ -14,122 +13,32 @@ Examples::
     python benchmarks/run_all.py --smoke --jobs 4 # CI smoke pass
     python benchmarks/run_all.py --only e3,e8     # two experiments
     python benchmarks/run_all.py --no-cache       # force re-simulation
+
+Requires the ``repro`` package to be importable (``pip install -e .``
+or ``PYTHONPATH=src``).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import multiprocessing
-import os
-import pathlib
-import re
 import sys
-import time
-import traceback
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-BENCH_DIR = pathlib.Path(__file__).parent
-
-# Committed simulator-throughput baseline for --perf-smoke (see
-# perf_report.py).  Regressions beyond the tolerance fail the run.
-PERF_BASELINE_PATH = BENCH_DIR / "BENCH_smoke.json"
-PERF_REGRESSION_TOLERANCE = 0.30
-
-
-def discover() -> List[str]:
-    """Module names of every experiment, in e1..e18 order."""
-    def order(name: str) -> int:
-        match = re.match(r"bench_e(\d+)_", name)
-        return int(match.group(1)) if match else 10 ** 6
-
-    names = [path.stem for path in BENCH_DIR.glob("bench_e*_*.py")]
-    return sorted(names, key=order)
-
-
-def _run_one(module_name: str) -> Tuple[str, float, Optional[str]]:
-    """Worker: import one experiment module, run it, persist its table.
-
-    Returns (experiment name, wall seconds, error text or None).
-    """
-    os.environ["REPRO_JOBS"] = "1"  # no nested pools inside a worker
-    experiment_name = module_name[len("bench_"):]
-    start = time.perf_counter()
-    try:
-        for path in (BENCH_DIR, BENCH_DIR.parent / "src"):
-            if str(path) not in sys.path:
-                sys.path.insert(0, str(path))
-        import importlib
-
-        module = importlib.import_module(module_name)
-        result = module.experiment()
-        table = result[0] if isinstance(result, tuple) else result
-        render = getattr(table, "render", None)
-        if render is not None:
-            results_dir = BENCH_DIR / "results"
-            results_dir.mkdir(exist_ok=True)
-            (results_dir / f"{experiment_name}.txt").write_text(
-                render() + "\n")
-    except Exception:  # noqa: BLE001 — one experiment must not kill the run
-        return experiment_name, time.perf_counter() - start, \
-            traceback.format_exc()
-    return experiment_name, time.perf_counter() - start, None
-
-
-def run_perf_smoke() -> int:
-    """Measure simulator throughput (tiny scale) against the committed
-    ``BENCH_smoke.json`` baseline.
-
-    The fresh snapshot always replaces the file — ``git diff`` shows the
-    trajectory, and committing it records a new baseline.  The previous
-    (committed) numbers are read *before* the overwrite and the run
-    fails if aggregate insts/host-second dropped by more than
-    :data:`PERF_REGRESSION_TOLERANCE`.
-    """
-    os.environ["REPRO_BENCH_SMOKE"] = "1"
-    for path in (BENCH_DIR, BENCH_DIR.parent / "src"):
-        if str(path) not in sys.path:
-            sys.path.insert(0, str(path))
-    import perf_report
-
-    baseline = None
-    try:
-        baseline = json.loads(PERF_BASELINE_PATH.read_text())
-    except (OSError, json.JSONDecodeError):
-        pass
-
-    payload = perf_report.measure(tag="smoke")
-    print(perf_report.render(payload))
-    perf_report.write_report(payload, PERF_BASELINE_PATH)
-    print(f"wrote {PERF_BASELINE_PATH}")
-
-    if baseline is None:
-        print("no committed baseline found; snapshot recorded, "
-              "nothing to compare")
-        return 0
-    try:
-        old = baseline["aggregate"]["total"]["insts_per_host_second"]
-    except (KeyError, TypeError):
-        print("committed baseline is unreadable; snapshot recorded")
-        return 0
-    new = payload["aggregate"]["total"]["insts_per_host_second"]
-    if not old or not new:
-        return 0
-    ratio = new / old
-    print(f"throughput vs committed baseline: {ratio:.2f}x "
-          f"({old} -> {new} insts/host-sec)")
-    if ratio < 1.0 - PERF_REGRESSION_TOLERANCE:
-        print(f"FAIL: simulator throughput regressed more than "
-              f"{PERF_REGRESSION_TOLERANCE:.0%} vs the committed "
-              f"baseline", file=sys.stderr)
-        return 1
-    return 0
+try:
+    from repro.cli import main as repro_main
+except ImportError as exc:  # pragma: no cover — setup error, not logic
+    raise SystemExit(
+        "error: the `repro` package is not importable "
+        f"({exc}).\nInstall it (`pip install -e .`) or run with "
+        "`PYTHONPATH=src`."
+    ) from None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the benchmark suite (tables land in "
-                    "benchmarks/results/).")
+        description="Run the benchmark suite (tables and JSON result "
+                    "documents land in benchmarks/results/). Thin "
+                    "adapter over `repro experiments run`.")
     parser.add_argument("--smoke", action="store_true",
                         help="shrink every workload so the suite runs in "
                              "seconds (sets REPRO_BENCH_SMOKE=1)")
@@ -139,14 +48,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache (REPRO_CACHE=0)")
     parser.add_argument("--only", default=None, metavar="E3,E8",
-                        help="comma-separated experiment prefixes to run")
+                        help="comma-separated experiment ids to run")
     parser.add_argument("--max-instructions", type=int, default=None,
                         help="override the per-run instruction budget")
     parser.add_argument("--perf-smoke", action="store_true",
                         help="measure simulator throughput on the tiny "
                              "suite, rewrite benchmarks/BENCH_smoke.json, "
-                             "and fail on a >30%% regression vs the "
-                             "committed baseline")
+                             "and fail on a regression beyond "
+                             "--perf-tolerance vs the committed baseline")
+    parser.add_argument("--perf-tolerance", type=float, default=0.30,
+                        metavar="FRACTION",
+                        help="allowed --perf-smoke throughput drop "
+                             "(default 0.30 = 30%%)")
     parser.add_argument("--sanitize", action="store_true",
                         help="run the smoke suite with REPRO_SANITIZE=1 "
                              "(per-event invariant checking; implies "
@@ -155,69 +68,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.perf_smoke:
-        return run_perf_smoke()
+        import perf_report
 
-    # Environment must be fixed before any worker forks (common.py reads
-    # it at import time, which happens inside the workers).
-    if args.sanitize:
-        os.environ["REPRO_SANITIZE"] = "1"
-        args.smoke = True
-        args.no_cache = True
-    if args.smoke:
-        os.environ["REPRO_BENCH_SMOKE"] = "1"
-    if args.no_cache:
-        os.environ["REPRO_CACHE"] = "0"
-    if args.max_instructions is not None:
-        os.environ["REPRO_BENCH_MAX_INSTRUCTIONS"] = str(args.max_instructions)
+        return perf_report.run_perf_smoke(tolerance=args.perf_tolerance)
 
-    modules = discover()
+    forwarded = ["experiments", "run"]
     if args.only:
-        wanted = [token.strip().lower() for token in args.only.split(",")]
-        modules = [
-            name for name in modules
-            if any(name[len("bench_"):].startswith(prefix + "_")
-                   or name[len("bench_"):].split("_")[0] == prefix
-                   for prefix in wanted)
-        ]
-        if not modules:
-            parser.error(f"--only {args.only!r} matched no experiments")
-
-    jobs = args.jobs
-    if jobs is None:
-        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
-    if jobs <= 0:
-        jobs = multiprocessing.cpu_count()
-    jobs = min(jobs, len(modules))
-
-    mode = "smoke" if args.smoke else "full"
-    sanitize_note = ", sanitize=on" if args.sanitize else ""
-    print(f"running {len(modules)} experiments ({mode} scale, "
-          f"jobs={jobs}, cache={'off' if args.no_cache else 'on'}"
-          f"{sanitize_note})")
-
-    start = time.perf_counter()
-    if jobs > 1:
-        context = multiprocessing.get_context("fork")
-        with context.Pool(processes=jobs) as pool:
-            reports = pool.map(_run_one, modules)
+        forwarded.extend(
+            token.strip() for token in args.only.split(",") if token.strip()
+        )
     else:
-        reports = [_run_one(name) for name in modules]
-    total = time.perf_counter() - start
-
-    failures = []
-    for name, seconds, error in reports:
-        status = "FAIL" if error else "ok"
-        print(f"  {status:4s} {name:24s} {seconds:7.2f}s")
-        if error:
-            failures.append((name, error))
-    print(f"total: {total:.2f}s wall for {len(modules)} experiments")
-
-    for name, error in failures:
-        print(f"\n--- {name} failed ---\n{error}", file=sys.stderr)
-    if args.sanitize and not failures:
-        print("sanitize: zero invariant violations across "
-              f"{len(modules)} experiments")
-    return 1 if failures else 0
+        forwarded.append("--all")
+    if args.smoke:
+        forwarded.append("--smoke")
+    if args.jobs is not None:
+        forwarded.extend(["--jobs", str(args.jobs)])
+    if args.no_cache:
+        forwarded.append("--no-cache")
+    if args.max_instructions is not None:
+        forwarded.extend(["--max-instructions", str(args.max_instructions)])
+    if args.sanitize:
+        forwarded.append("--sanitize")
+    return repro_main(forwarded)
 
 
 if __name__ == "__main__":

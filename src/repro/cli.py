@@ -1,0 +1,313 @@
+"""The ``repro`` command-line interface.
+
+Installed as a console script (``pyproject.toml [project.scripts]``)
+and equally runnable as ``python -m repro``.  Subcommands:
+
+``repro experiments list [--tag TAG] [--json]``
+    Show every registered experiment (id, tags, title).
+
+``repro experiments run [IDS...] [--all] [--smoke] [--jobs N] ...``
+    Run experiments through the
+    :class:`~repro.experiments.engine.ExperimentEngine`.  Each one
+    writes its text table and schema-versioned JSON result document
+    under ``benchmarks/results/`` (cwd-independent — the directory is
+    resolved through :mod:`repro.experiments.results`).  ``--jobs N``
+    overlaps N whole experiments in worker processes; workers run
+    their own simulations single-threaded to avoid nested pools.
+
+``repro experiments report [IDS...] [--json]``
+    Summarize stored result documents: mode, wall time, point count,
+    and which expectation predicates held.
+
+Expectation failures are *reported* but do not fail a run by default:
+at smoke scale the qualitative shapes are indicative only.  Pass
+``--strict-expectations`` (sensible at full scale) to turn them into
+a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import pathlib
+import sys
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments import (
+    ExperimentEngine,
+    ResultSchemaError,
+    default_results_dir,
+    get,
+    list_specs,
+    load_result_doc,
+)
+from repro.experiments.spec import ExperimentLookupError
+
+
+def _select_specs(ids: List[str], run_all: bool, tag: Optional[str] = None):
+    """Resolve id arguments (``e3``, ``e8,e9``, ``e4_dq_size``) to specs."""
+    specs = list_specs()
+    if tag:
+        specs = [spec for spec in specs if tag in spec.tags]
+    if run_all or not ids:
+        return specs
+    tokens: List[str] = []
+    for argument in ids:
+        tokens.extend(token.strip() for token in argument.split(",")
+                      if token.strip())
+    chosen = []
+    seen = set()
+    for token in tokens:
+        spec = get(token)
+        if spec.eid not in seen:
+            seen.add(spec.eid)
+            chosen.append(spec)
+    return chosen
+
+
+# ---------------------------------------------------------------------------
+# experiments run
+# ---------------------------------------------------------------------------
+
+
+def _run_one_worker(payload: Tuple[str, Dict[str, Any]]):
+    """Pool worker: run one experiment, never raise."""
+    eid, engine_kwargs = payload
+    # No nested pools inside a worker: the experiment's own simulation
+    # batches run inline.
+    os.environ["REPRO_JOBS"] = "1"
+    started = time.perf_counter()
+    try:
+        doc = ExperimentEngine(**engine_kwargs).run(eid)
+        failed = [outcome["name"] for outcome in doc["expectations"]
+                  if not outcome["passed"]]
+        return eid, time.perf_counter() - started, None, failed
+    except Exception:  # noqa: BLE001 — one experiment must not kill the run
+        return eid, time.perf_counter() - started, \
+            traceback.format_exc(), []
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.sanitize:
+        os.environ["REPRO_SANITIZE"] = "1"
+        args.smoke = True
+        args.no_cache = True
+    # Workers inherit the smoke flag through the environment too, so
+    # anything that consults REPRO_BENCH_SMOKE (e.g. workload suites
+    # invoked out-of-engine) agrees with the engine setting.
+    if args.smoke:
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+    if args.no_cache:
+        os.environ["REPRO_CACHE"] = "0"
+    if args.max_instructions is not None:
+        os.environ["REPRO_BENCH_MAX_INSTRUCTIONS"] = \
+            str(args.max_instructions)
+
+    try:
+        specs = _select_specs(args.ids, args.all, args.tag)
+    except ExperimentLookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("error: no experiments selected", file=sys.stderr)
+        return 2
+
+    engine_kwargs: Dict[str, Any] = {
+        "smoke": bool(args.smoke) or None,
+        "max_instructions": args.max_instructions,
+        "jobs": None,
+        "results_dir": args.results_dir,
+        "echo": bool(args.echo),
+    }
+    if args.no_cache:
+        engine_kwargs["cache"] = None
+
+    jobs = args.jobs
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    if jobs <= 0:
+        jobs = multiprocessing.cpu_count()
+    jobs = min(jobs, len(specs))
+
+    mode = "smoke" if args.smoke else "full"
+    sanitize_note = ", sanitize=on" if args.sanitize else ""
+    print(f"running {len(specs)} experiments ({mode} scale, "
+          f"jobs={jobs}, cache={'off' if args.no_cache else 'on'}"
+          f"{sanitize_note})")
+
+    payloads = [(spec.eid, engine_kwargs) for spec in specs]
+    started = time.perf_counter()
+    if jobs > 1:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=jobs) as pool:
+            reports = pool.map(_run_one_worker, payloads)
+    else:
+        reports = [_run_one_worker(payload) for payload in payloads]
+    total = time.perf_counter() - started
+
+    errors = []
+    expectation_misses = []
+    for (eid, seconds, error, failed), spec in zip(reports, specs):
+        if error:
+            status = "FAIL"
+            errors.append((spec.name, error))
+        elif failed:
+            status = "SHAPE"
+            expectation_misses.append((spec.name, failed))
+        else:
+            status = "ok"
+        note = f"  ({', '.join(failed)})" if failed else ""
+        print(f"  {status:5s} {spec.name:26s} {seconds:7.2f}s{note}")
+    print(f"total: {total:.2f}s wall for {len(specs)} experiments")
+
+    for name, error in errors:
+        print(f"\n--- {name} failed ---\n{error}", file=sys.stderr)
+    if expectation_misses:
+        print(f"{len(expectation_misses)} experiment(s) missed "
+              f"expectations ({mode} scale"
+              f"{'; indicative only' if args.smoke else ''})")
+    if args.sanitize and not errors:
+        print("sanitize: zero invariant violations across "
+              f"{len(specs)} experiments")
+    if errors:
+        return 1
+    if args.strict_expectations and expectation_misses:
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# experiments list / report
+# ---------------------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = _select_specs([], True, args.tag)
+    if args.json:
+        print(json.dumps([
+            {"id": spec.eid, "name": spec.name, "title": spec.title,
+             "tags": list(spec.tags),
+             "expectations": [e.name for e in spec.expectations]}
+            for spec in specs
+        ], indent=2))
+        return 0
+    for spec in specs:
+        tags = ",".join(spec.tags)
+        print(f"{spec.eid:>4s}  {spec.name:26s} [{tags}]  {spec.title}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        specs = _select_specs(args.ids, not args.ids, None)
+    except ExperimentLookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results_dir = args.results_dir or default_results_dir()
+    missing = 0
+    for spec in specs:
+        try:
+            doc = load_result_doc(spec.name, results_dir)
+        except ResultSchemaError as exc:
+            print(f"{spec.eid:>4s}  {spec.name:26s} -- {exc}")
+            missing += 1
+            continue
+        failed = [outcome["name"] for outcome in doc["expectations"]
+                  if not outcome["passed"]]
+        status = "ok" if doc["ok"] else "SHAPE"
+        note = f"  failed: {', '.join(failed)}" if failed else ""
+        print(f"{spec.eid:>4s}  {spec.name:26s} {status:5s} "
+              f"{doc['mode']:5s} {doc['wall_seconds']:8.2f}s "
+              f"{len(doc['points']):3d} points{note}")
+        if args.tables:
+            print()
+            print(doc["table"]["rendered"])
+            print()
+    return 1 if missing else 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing.
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SST/ROCK reproduction command-line interface.",
+    )
+    top = parser.add_subparsers(dest="command", required=True)
+
+    experiments = top.add_parser(
+        "experiments", help="the reconstructed 18-experiment evaluation")
+    sub = experiments.add_subparsers(dest="subcommand", required=True)
+
+    cmd_list = sub.add_parser("list", help="show registered experiments")
+    cmd_list.add_argument("--tag", default=None,
+                          help="only experiments carrying this tag")
+    cmd_list.add_argument("--json", action="store_true",
+                          help="machine-readable listing")
+    cmd_list.set_defaults(func=_cmd_list)
+
+    cmd_run = sub.add_parser(
+        "run", help="run experiments (tables + JSON documents land in "
+                    "benchmarks/results/)")
+    cmd_run.add_argument("ids", nargs="*", metavar="ID",
+                         help="experiment ids (e3 e8, or e3,e8; "
+                              "default: all)")
+    cmd_run.add_argument("--all", action="store_true",
+                         help="run every registered experiment")
+    cmd_run.add_argument("--tag", default=None,
+                         help="restrict to experiments carrying this tag")
+    cmd_run.add_argument("--smoke", action="store_true",
+                         help="shrink every workload so the suite runs "
+                              "in seconds (sets REPRO_BENCH_SMOKE=1)")
+    cmd_run.add_argument("--jobs", type=int, default=None,
+                         help="experiments to run concurrently "
+                              "(default: REPRO_JOBS or 1; 0 = all cores)")
+    cmd_run.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache (REPRO_CACHE=0)")
+    cmd_run.add_argument("--max-instructions", type=int, default=None,
+                         help="override the per-run instruction budget")
+    cmd_run.add_argument("--results-dir", type=pathlib.Path, default=None,
+                         help="where tables and JSON documents land "
+                              "(default: the checkout's "
+                              "benchmarks/results/)")
+    cmd_run.add_argument("--sanitize", action="store_true",
+                         help="run with REPRO_SANITIZE=1 (per-event "
+                              "invariant checking; implies --smoke "
+                              "--no-cache, since cached results would "
+                              "skip the checked simulations)")
+    cmd_run.add_argument("--strict-expectations", action="store_true",
+                         help="exit non-zero when an expectation "
+                              "predicate fails (use at full scale)")
+    cmd_run.add_argument("--echo", action="store_true",
+                         help="print each experiment's table")
+    cmd_run.set_defaults(func=_cmd_run)
+
+    cmd_report = sub.add_parser(
+        "report", help="summarize stored JSON result documents")
+    cmd_report.add_argument("ids", nargs="*", metavar="ID",
+                            help="experiment ids (default: all)")
+    cmd_report.add_argument("--results-dir", type=pathlib.Path,
+                            default=None,
+                            help="where to read documents from")
+    cmd_report.add_argument("--tables", action="store_true",
+                            help="also print each stored table")
+    cmd_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

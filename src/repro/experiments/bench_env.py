@@ -1,0 +1,247 @@
+"""The benchmark environment: machines, suites, scaling, execution.
+
+This is the library home of what ``benchmarks/common.py`` used to
+provide as module-level globals — the bench-scale memory hierarchy,
+the paper's machine points, smoke-mode workload shrinking, and the
+cached/parallel execution helpers — packaged as :class:`BenchEnv` so
+the smoke flag, cache, and instruction budget are explicit per-run
+state instead of import-time environment reads.
+
+The *bench hierarchy* is deliberately smaller than a real ROCK-era
+memory system so the "bench"-scale workloads (hundreds of KB of working
+set) exercise the same regime the paper's commercial workloads did on
+multi-MB caches: frequent L2 misses with room for memory-level
+parallelism.  Absolute IPCs are therefore not comparable to silicon;
+relative orderings are the reproduction target.
+
+Environment knobs (defaults only — constructor arguments win):
+
+* ``REPRO_JOBS`` — worker processes for matrix/suite runs (default 1).
+* ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` — content-addressed result
+  cache gate and location (default on, ``benchmarks/.simcache/``).
+* ``REPRO_BENCH_MAX_INSTRUCTIONS`` — per-run instruction budget
+  (runaway guard) override; default 50M.
+* ``REPRO_BENCH_SMOKE`` — set to ``1`` to shrink every workload by
+  :data:`SMOKE_DIVISOR` and use the tiny suite scale, so the full
+  18-experiment suite finishes in seconds (CI smoke mode; relative
+  orderings at this scale are indicative only).
+
+Every simulation routed through the environment is also *recorded*:
+``env.points`` accumulates one JSON-ready row per point (machine,
+program, config fingerprint, cycles, instructions, IPC, perf counters,
+wall seconds), which is how the engine assembles the machine-readable
+result documents.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.baselines.core_base import CoreResult
+from repro.cmp.multicore import Multicore, MulticoreResult
+from repro.config import (
+    CacheConfig,
+    DRAMConfig,
+    HierarchyConfig,
+    MachineConfig,
+    ea_machine,
+    inorder_machine,
+    ooo_machine,
+    scout_machine,
+    sst_machine,
+)
+from repro.isa.program import Program
+from repro.sim.cache import ResultCache, cache_from_env, result_key
+from repro.sim.parallel import ParallelRunner, SimTask
+from repro.workloads import commercial_suite, compute_suite, full_suite
+
+DEFAULT_BENCH_MAX_INSTRUCTIONS = 50_000_000
+
+# Smoke mode shrinks hardcoded workload parameters by this divisor.
+# A power of two preserves power-of-two-ness, which some generators
+# (hash tables) require of their sizes.
+SMOKE_DIVISOR = 16
+
+_UNSET = object()
+
+
+def smoke_from_env() -> bool:
+    """The ``REPRO_BENCH_SMOKE`` gate."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "").lower() in (
+        "1", "on", "true",
+    )
+
+
+def max_instructions_from_env() -> int:
+    """The ``REPRO_BENCH_MAX_INSTRUCTIONS`` budget (default 50M)."""
+    return int(os.environ.get(
+        "REPRO_BENCH_MAX_INSTRUCTIONS", DEFAULT_BENCH_MAX_INSTRUCTIONS
+    ))
+
+
+class BenchEnv:
+    """One experiment run's machines, workloads, and execution engine."""
+
+    def __init__(self, *, smoke: Optional[bool] = None,
+                 max_instructions: Optional[int] = None,
+                 cache: Any = _UNSET,
+                 jobs: Optional[int] = None):
+        self.smoke = smoke_from_env() if smoke is None else bool(smoke)
+        self.max_instructions = (
+            max_instructions_from_env() if max_instructions is None
+            else int(max_instructions)
+        )
+        self.cache: Optional[ResultCache] = (
+            cache_from_env() if cache is _UNSET else cache
+        )
+        self.jobs = jobs
+        # One JSON-ready record per simulation point routed through
+        # this environment (see _record / record_multicore).
+        self.points: List[Dict[str, Any]] = []
+
+    # -- scaling -------------------------------------------------------
+
+    @property
+    def scale(self) -> str:
+        """Workload suite scale: ``tiny`` in smoke mode, else ``bench``."""
+        return "tiny" if self.smoke else "bench"
+
+    def scaled(self, value: int, floor: int = 1) -> int:
+        """Shrink a hardcoded workload parameter in smoke mode."""
+        if not self.smoke:
+            return value
+        return max(floor, value // SMOKE_DIVISOR)
+
+    # -- workload suites ----------------------------------------------
+
+    def full_suite(self) -> List[Program]:
+        return full_suite(self.scale)
+
+    def commercial_suite(self) -> List[Program]:
+        return commercial_suite(self.scale)
+
+    def compute_suite(self) -> List[Program]:
+        return compute_suite(self.scale)
+
+    # -- machine points -----------------------------------------------
+
+    def hierarchy(self, latency: int = 300, mshr: int = 16,
+                  l2_mshr: int = 32) -> HierarchyConfig:
+        """The bench-scale memory hierarchy (see module docstring)."""
+        return HierarchyConfig(
+            l1d=CacheConfig(size_bytes=16 * 1024, assoc=4, hit_latency=2,
+                            mshr_entries=mshr),
+            l1i=CacheConfig(size_bytes=16 * 1024, assoc=4, hit_latency=1,
+                            mshr_entries=4),
+            l2=CacheConfig(size_bytes=128 * 1024, assoc=8, hit_latency=20,
+                           mshr_entries=l2_mshr),
+            dram=DRAMConfig(latency=latency, min_interval=2),
+        )
+
+    def paper_machines(
+            self,
+            hierarchy: Optional[HierarchyConfig] = None
+    ) -> List[MachineConfig]:
+        """The four design points of the paper's narrative."""
+        hierarchy = hierarchy or self.hierarchy()
+        return [
+            inorder_machine(hierarchy),
+            scout_machine(hierarchy),
+            ea_machine(hierarchy),
+            sst_machine(hierarchy),
+        ]
+
+    def ooo_comparators(
+            self,
+            hierarchy: Optional[HierarchyConfig] = None
+    ) -> List[MachineConfig]:
+        """The "larger and higher-powered" out-of-order design points."""
+        hierarchy = hierarchy or self.hierarchy()
+        return [
+            ooo_machine(hierarchy, rob_size=32),
+            ooo_machine(hierarchy, rob_size=64),
+            ooo_machine(hierarchy, rob_size=128),
+        ]
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, config: MachineConfig, program: Program) -> CoreResult:
+        """One benchmark point, through the result cache."""
+        runner = ParallelRunner(jobs=1, cache=self.cache)
+        task = SimTask(config=config, program=program,
+                       max_instructions=self.max_instructions)
+        result = runner.run([task])[0]
+        assert result is not None
+        self._record(task, result)
+        return result
+
+    def run_many(self, tasks: List[SimTask]) -> List[CoreResult]:
+        """A batch of points through the pool (``REPRO_JOBS``/``jobs``)
+        + cache, results in submission order."""
+        runner = ParallelRunner(self.jobs, cache=self.cache)
+        results = runner.run(tasks)
+        for task, result in zip(tasks, results):
+            if result is not None:
+                self._record(task, result)
+        return [result for result in results if result is not None]
+
+    def run_matrix(
+            self, programs: List[Program], configs: List[MachineConfig]
+    ) -> Dict[str, Dict[str, CoreResult]]:
+        """program name -> machine name -> result.
+
+        The full matrix is one :class:`ParallelRunner` batch: with jobs
+        set, points run across worker processes; cached points are
+        restored without simulating at all.
+        """
+        tasks = [
+            SimTask(config=config, program=program,
+                    max_instructions=self.max_instructions)
+            for program in programs
+            for config in configs
+        ]
+        results = self.run_many(tasks)
+        matrix: Dict[str, Dict[str, CoreResult]] = {
+            program.name: {} for program in programs
+        }
+        for task, result in zip(tasks, results):
+            matrix[task.program.name][task.config.name] = result
+        return matrix
+
+    def run_multicore(self, multicore: Multicore, *,
+                      machine: str, program: str) -> MulticoreResult:
+        """Run an interleaved multiprogrammed point and record its
+        aggregate (multicore runs are not content-cacheable: the cores
+        share one hierarchy, so a point is not a pure single-config
+        function)."""
+        result = multicore.run()
+        self.points.append({
+            "machine": machine,
+            "program": program,
+            "key": None,
+            "cycles": result.makespan,
+            "instructions": result.total_instructions,
+            "ipc": round(result.aggregate_ipc, 6),
+            "wall_seconds": None,
+            "perf": {"idle_quanta_skipped": result.idle_quanta_skipped},
+        })
+        return result
+
+    # -- recording -----------------------------------------------------
+
+    def _record(self, task: SimTask, result: CoreResult) -> None:
+        perf = result.extra.get("perf")
+        self.points.append({
+            "machine": task.config.name,
+            "program": task.program.name,
+            # The content hash addressing this point in the result
+            # cache: a fingerprint of (config, program, budget).
+            "key": result_key(task.config, task.program,
+                              task.max_instructions),
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "ipc": round(result.ipc, 6),
+            "wall_seconds": round(result.wall_seconds, 6),
+            "perf": perf.as_dict() if perf is not None else None,
+        })

@@ -1,0 +1,55 @@
+"""E1 — per-workload speedup of scout / execute-ahead / SST over the
+in-order baseline (the paper's core progression figure).
+
+Expected shape: every speculative mode >= 1.0x on the miss-bound
+commercial workloads, ordered scout <= EA <= SST on the geomean, with
+the compute-bound contrast workloads showing little gain.
+"""
+
+from repro.experiments.spec import expect, experiment
+from repro.stats.report import Table, geomean
+
+
+@experiment(
+    eid="e1", slug="speedup_over_inorder",
+    title="Per-workload speedup of scout / EA / SST over in-order",
+    tags=("core", "headline"),
+    expectations=(
+        expect("sst_speedup",
+               "SST clearly beats in-order on the suite geomean",
+               lambda m: m["geomean"]["sst-2w-2ckpt"] > 1.5),
+        expect("mode_ordering",
+               "geomean ordering scout <~ EA <~ SST holds",
+               lambda m: m["geomean"]["sst-2w-2ckpt"]
+               >= m["geomean"]["ea-2w"] * 0.98
+               >= m["geomean"]["scout-2w"] * 0.9),
+    ),
+)
+def build(env):
+    programs = env.full_suite()
+    configs = env.paper_machines(env.hierarchy())
+    matrix = env.run_matrix(programs, configs)
+    baseline_name = configs[0].name
+    table = Table(
+        "E1: speedup over the in-order core",
+        ["workload", "inorder IPC", "scout", "execute-ahead", "sst"],
+    )
+    speedups = {config.name: [] for config in configs[1:]}
+    for program in programs:
+        results = matrix[program.name]
+        base = results[baseline_name]
+        row = [program.name, round(base.ipc, 3)]
+        for config in configs[1:]:
+            speedup = results[config.name].speedup_over(base)
+            speedups[config.name].append(speedup)
+            row.append(f"{speedup:.2f}x")
+        table.add_row(*row)
+    table.add_row(
+        "geomean", "",
+        *(f"{geomean(values):.2f}x" for values in speedups.values()),
+    )
+    return table, {
+        "speedups": speedups,
+        "geomean": {name: geomean(values)
+                    for name, values in speedups.items()},
+    }

@@ -1,0 +1,57 @@
+"""E3 — memory-latency sensitivity.
+
+Sweep DRAM latency 100..800 cycles: the in-order core degrades almost
+linearly with latency while SST hides a growing fraction of it, so
+SST's speedup must *grow* with latency.
+"""
+
+from repro.config import inorder_machine, sst_machine
+from repro.experiments.spec import expect, experiment
+from repro.stats.report import Table
+from repro.workloads import hash_join, pointer_chase
+
+LATENCIES = (100, 200, 400, 800)
+
+
+@experiment(
+    eid="e3", slug="latency_sensitivity",
+    title="SST speedup over in-order vs DRAM latency",
+    tags=("memory", "sweep"),
+    expectations=(
+        expect("benefit_grows_with_wall",
+               "independent-miss workloads gain more as latency grows",
+               lambda m: m["curves"]["db-hashjoin"][-1]
+               > m["curves"]["db-hashjoin"][0]),
+        expect("chain_bound_flat",
+               "dependent chains bound MLP, so the chase speedup "
+               "stays roughly flat",
+               lambda m: 0.6 * m["curves"]["oltp-chase"][0]
+               < m["curves"]["oltp-chase"][-1]
+               < 1.6 * m["curves"]["oltp-chase"][0]),
+    ),
+)
+def build(env):
+    programs = [
+        hash_join(table_words=env.scaled(1 << 16),
+                  probes=env.scaled(3000)),
+        pointer_chase(chains=4, nodes_per_chain=env.scaled(2048),
+                      hops=env.scaled(2500)),
+    ]
+    table = Table(
+        "E3: SST speedup over in-order vs DRAM latency",
+        ["workload"] + [f"{latency} cyc" for latency in LATENCIES],
+    )
+    curves = {}
+    for program in programs:
+        row = [program.name]
+        curve = []
+        for latency in LATENCIES:
+            hierarchy = env.hierarchy(latency=latency)
+            base = env.run(inorder_machine(hierarchy), program)
+            fast = env.run(sst_machine(hierarchy), program)
+            speedup = fast.speedup_over(base)
+            curve.append(speedup)
+            row.append(f"{speedup:.2f}x")
+        curves[program.name] = curve
+        table.add_row(*row)
+    return table, {"curves": curves, "latencies": list(LATENCIES)}

@@ -1,0 +1,55 @@
+"""E4 — deferred-queue sizing.
+
+The DQ holds only the *dependence slice* of outstanding misses, so a
+modest DQ already covers a large effective window; a starved DQ forces
+scout fallbacks.  Expected: steep gains up to a few tens of entries,
+then diminishing returns.
+"""
+
+import dataclasses
+
+from repro.config import inorder_machine, sst_machine
+from repro.experiments.spec import expect, experiment
+from repro.stats.report import Table
+from repro.workloads import hash_join
+
+DQ_SIZES = (4, 8, 16, 32, 64, 128)
+
+
+@experiment(
+    eid="e4", slug="dq_size",
+    title="SST speedup and scout fallbacks vs deferred-queue size",
+    tags=("sst", "sizing"),
+    expectations=(
+        expect("small_dq_starves",
+               "a starved DQ clearly loses to a deep one",
+               lambda m: m["speedups"][-1] > m["speedups"][0] * 1.3),
+        expect("diminishing_returns",
+               "the top sizing step buys little",
+               lambda m: m["speedups"][-1] <= m["speedups"][-2] * 1.25),
+    ),
+)
+def build(env):
+    program = hash_join(table_words=env.scaled(1 << 16),
+                        probes=env.scaled(3000))
+    hierarchy = env.hierarchy()
+    base = env.run(inorder_machine(hierarchy), program)
+    table = Table(
+        "E4: SST speedup and scout fallbacks vs DQ size",
+        ["dq_size", "speedup", "scout sessions", "mean DQ occupancy"],
+    )
+    curve = []
+    for dq_size in DQ_SIZES:
+        machine = sst_machine(hierarchy, dq_size=dq_size)
+        machine = dataclasses.replace(machine, name=f"sst-dq{dq_size}")
+        result = env.run(machine, program)
+        stats = result.extra["sst"]
+        speedup = result.speedup_over(base)
+        curve.append(speedup)
+        table.add_row(
+            dq_size,
+            f"{speedup:.2f}x",
+            stats.total_scout_sessions,
+            round(result.extra["dq_occupancy"].mean, 1),
+        )
+    return table, {"speedups": curve, "dq_sizes": list(DQ_SIZES)}

@@ -1,0 +1,65 @@
+"""E5 — checkpoint count: the EA -> SST step.
+
+1 checkpoint = execute-ahead (replay pauses the ahead strand);
+2 checkpoints = SST (the paper's design point); more checkpoints let
+more epochs pipeline.  Expected: the 1 -> 2 step is the big one.
+"""
+
+import dataclasses
+
+from repro.config import inorder_machine, sst_machine
+from repro.experiments.spec import expect, experiment
+from repro.stats.report import Table, geomean
+from repro.workloads import hash_join, pointer_chase, store_stream
+
+CHECKPOINTS = (1, 2, 4, 8)
+
+
+@experiment(
+    eid="e5", slug="checkpoints",
+    title="Speedup over in-order vs number of checkpoints (EA -> SST)",
+    tags=("sst", "sizing"),
+    expectations=(
+        expect("ea_to_sst_step",
+               "adding the second checkpoint (EA -> SST) is a real step",
+               lambda m: m["geomean"]["2"] / m["geomean"]["1"] > 1.02),
+        expect("second_step_dominates",
+               "2 -> 8 checkpoints gains less than the 1 -> 2 step",
+               lambda m: m["geomean"]["8"] / m["geomean"]["2"]
+               < m["geomean"]["2"] / m["geomean"]["1"] + 0.25),
+    ),
+)
+def build(env):
+    hierarchy = env.hierarchy()
+    programs = [
+        hash_join(table_words=env.scaled(1 << 16),
+                  probes=env.scaled(3000)),
+        pointer_chase(chains=4, nodes_per_chain=env.scaled(2048),
+                      hops=env.scaled(2500)),
+        store_stream(records=env.scaled(2000), payload_words=8,
+                     table_words=env.scaled(1 << 16)),
+    ]
+    table = Table(
+        "E5: speedup over in-order vs number of checkpoints",
+        ["workload"] + [f"{k} ckpt" for k in CHECKPOINTS],
+    )
+    per_k = {k: [] for k in CHECKPOINTS}
+    for program in programs:
+        base = env.run(inorder_machine(hierarchy), program)
+        row = [program.name]
+        for k in CHECKPOINTS:
+            machine = dataclasses.replace(
+                sst_machine(hierarchy, checkpoints=k), name=f"sst-{k}ckpt"
+            )
+            speedup = env.run(machine, program).speedup_over(base)
+            per_k[k].append(speedup)
+            row.append(f"{speedup:.2f}x")
+        table.add_row(*row)
+    table.add_row(
+        "geomean", *(f"{geomean(per_k[k]):.2f}x" for k in CHECKPOINTS)
+    )
+    return table, {
+        "geomean": {str(k): geomean(values)
+                    for k, values in per_k.items()},
+        "speedups": {str(k): values for k, values in per_k.items()},
+    }

@@ -1,0 +1,49 @@
+"""E6 — memory-level parallelism and prefetch coverage.
+
+How each mode turns serial misses into overlapped ones: demand DRAM
+accesses, misses merged into in-flight fills (the MLP signature), the
+SST core's peak outstanding deferred misses, and scout prefetches.
+"""
+
+from repro.experiments.spec import expect, experiment
+from repro.stats.report import Table
+from repro.workloads import hash_join
+
+
+@experiment(
+    eid="e6", slug="mlp_scout",
+    title="MLP and prefetch coverage per machine on db-hashjoin",
+    tags=("memory", "core"),
+    expectations=(
+        expect("speculation_beats_inorder",
+               "every speculative mode beats in-order on this workload",
+               lambda m: all(cycles < m["cycles"]["inorder-2w"]
+                             for name, cycles in m["cycles"].items()
+                             if name != "inorder-2w")),
+    ),
+)
+def build(env):
+    program = hash_join(table_words=env.scaled(1 << 16),
+                        probes=env.scaled(3000))
+    table = Table(
+        "E6: MLP and prefetch coverage on db-hashjoin",
+        ["machine", "cycles", "dram accesses", "merges",
+         "peak outstanding", "scout prefetches"],
+    )
+    rows = {}
+    for config in env.paper_machines(env.hierarchy()):
+        result = env.run(config, program)
+        hierarchy_stats = result.extra["hierarchy"]
+        sst_stats = result.extra.get("sst")
+        peak = sst_stats.peak_outstanding_misses if sst_stats else 0
+        scout_prefetches = sst_stats.scout_prefetches if sst_stats else 0
+        table.add_row(
+            config.name,
+            result.cycles,
+            hierarchy_stats.demand_dram,
+            hierarchy_stats.demand_merges,
+            peak,
+            scout_prefetches,
+        )
+        rows[config.name] = result.cycles
+    return table, {"cycles": rows}

@@ -1,0 +1,67 @@
+"""E7 — speculation outcome table.
+
+Per workload: episodes, commits (full + region), failures by cause,
+scout sessions, and discarded work.  Expected: the commercial mixes
+mostly commit; branch-heavy codes fail more and pointer codes lean on
+scout when resources starve.
+"""
+
+from repro.config import sst_machine
+from repro.core import FailCause
+from repro.experiments.spec import expect, experiment
+from repro.stats.report import Table
+
+
+@experiment(
+    eid="e7", slug="outcomes",
+    title="Speculation outcomes per workload on the SST core",
+    tags=("sst", "stats"),
+    expectations=(
+        expect("branchy_fails_most",
+               "branch-fed-by-miss workloads fail most",
+               lambda m: m["outcomes"]["int-branchy"]["branch_fails"]
+               > m["outcomes"]["fp-stream"]["branch_fails"]),
+        expect("db_mostly_commits",
+               "the DB probe loop overwhelmingly commits",
+               lambda m: m["outcomes"]["db-hashjoin"]["full_commits"]
+               + m["outcomes"]["db-hashjoin"]["region_commits"]
+               > 10 * m["outcomes"]["db-hashjoin"]["total_fails"]),
+    ),
+)
+def build(env):
+    table = Table(
+        "E7: speculation outcomes (SST core)",
+        ["workload", "episodes", "full commits", "region commits",
+         "branch fails", "jump fails", "order fails", "scouts",
+         "discarded insts"],
+    )
+    outcomes = {}
+    for program in env.full_suite():
+        result = env.run(sst_machine(env.hierarchy()), program)
+        stats = result.extra["sst"]
+        table.add_row(
+            program.name,
+            stats.episodes,
+            stats.full_commits,
+            stats.region_commits,
+            stats.fails[FailCause.DEFERRED_BRANCH_MISPREDICT],
+            stats.fails[FailCause.DEFERRED_JUMP_MISPREDICT],
+            stats.fails[FailCause.MEMORY_ORDER_VIOLATION],
+            stats.total_scout_sessions,
+            stats.discarded_insts,
+        )
+        outcomes[program.name] = {
+            "episodes": stats.episodes,
+            "full_commits": stats.full_commits,
+            "region_commits": stats.region_commits,
+            "branch_fails":
+                stats.fails[FailCause.DEFERRED_BRANCH_MISPREDICT],
+            "jump_fails":
+                stats.fails[FailCause.DEFERRED_JUMP_MISPREDICT],
+            "order_fails":
+                stats.fails[FailCause.MEMORY_ORDER_VIOLATION],
+            "total_fails": stats.total_fails,
+            "scouts": stats.total_scout_sessions,
+            "discarded_insts": stats.discarded_insts,
+        }
+    return table, {"outcomes": outcomes}

@@ -1,0 +1,56 @@
+"""E8 — speculative store-buffer sizing.
+
+The store-burst workload fills the SB during each episode; a shallow SB
+forces scout fallbacks and forfeits retirement.  Expected: speedup
+climbs with SB depth until the burst fits, then flattens.
+"""
+
+import dataclasses
+
+from repro.config import inorder_machine, sst_machine
+from repro.core import ScoutCause
+from repro.experiments.spec import expect, experiment
+from repro.stats.report import Table
+from repro.workloads import store_stream
+
+SB_SIZES = (4, 8, 16, 32, 64)
+
+
+@experiment(
+    eid="e8", slug="sb_size",
+    title="SST speedup and SB pressure vs store-buffer size",
+    tags=("sst", "sizing"),
+    expectations=(
+        expect("depth_helps_burst",
+               "SB depth helps the store burst",
+               lambda m: m["speedups"][-1] > m["speedups"][0]),
+        expect("flattens_when_burst_fits",
+               "speedup flattens once the burst fits",
+               lambda m: m["speedups"][-1] <= m["speedups"][-2] * 1.2),
+    ),
+)
+def build(env):
+    program = store_stream(records=env.scaled(2000), payload_words=8,
+                           table_words=env.scaled(1 << 16))
+    hierarchy = env.hierarchy()
+    base = env.run(inorder_machine(hierarchy), program)
+    table = Table(
+        "E8: SST speedup and SB pressure vs store-buffer size",
+        ["sb_size", "speedup", "sb-full scouts", "mean SB occupancy"],
+    )
+    curve = []
+    for sb_size in SB_SIZES:
+        machine = dataclasses.replace(
+            sst_machine(hierarchy, sb_size=sb_size), name=f"sst-sb{sb_size}"
+        )
+        result = env.run(machine, program)
+        stats = result.extra["sst"]
+        speedup = result.speedup_over(base)
+        curve.append(speedup)
+        table.add_row(
+            sb_size,
+            f"{speedup:.2f}x",
+            stats.scout_sessions[ScoutCause.SB_FULL],
+            round(result.extra["sb_occupancy"].mean, 1),
+        )
+    return table, {"speedups": curve, "sb_sizes": list(SB_SIZES)}

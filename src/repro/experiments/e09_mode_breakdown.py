@@ -1,0 +1,51 @@
+"""E9 — where the cycles go: execution-mode breakdown per workload.
+
+Miss-bound workloads should live in EXECUTE_AHEAD/SST; compute-bound
+ones in NORMAL; resource-starved or chain-bound ones show SCOUT and
+REPLAY_ONLY time.
+"""
+
+from repro.config import sst_machine
+from repro.core import ExecMode
+from repro.experiments.spec import expect, experiment
+from repro.stats.report import Table
+
+MODES = [ExecMode.NORMAL, ExecMode.EXECUTE_AHEAD, ExecMode.SST,
+         ExecMode.REPLAY_ONLY, ExecMode.SCOUT]
+
+
+@experiment(
+    eid="e9", slug="mode_breakdown",
+    title="Fraction of cycles per execution mode on the SST core",
+    tags=("sst", "stats"),
+    expectations=(
+        expect("db_lives_in_speculation",
+               "the miss-bound DB probe spends most cycles speculating",
+               lambda m: m["fractions"]["db-hashjoin"]
+               [ExecMode.EXECUTE_AHEAD.value]
+               + m["fractions"]["db-hashjoin"][ExecMode.SST.value] > 0.5),
+        expect("matmul_stays_normal",
+               "the cache-resident kernel stays mostly normal",
+               lambda m: m["fractions"]["compute-matmul"]
+               [ExecMode.NORMAL.value] > 0.5),
+    ),
+)
+def build(env):
+    table = Table(
+        "E9: fraction of cycles per execution mode (SST core)",
+        ["workload"] + [mode.value for mode in MODES],
+    )
+    fractions = {}
+    for program in env.full_suite():
+        result = env.run(sst_machine(env.hierarchy()), program)
+        mode_cycles = result.extra["sst"].mode_cycles
+        total = max(sum(mode_cycles.values()), 1)
+        shares = {
+            mode.value: mode_cycles[mode.value] / total for mode in MODES
+        }
+        fractions[program.name] = shares
+        table.add_row(
+            program.name,
+            *(f"{shares[mode.value]:.2f}" for mode in MODES),
+        )
+    return table, {"fractions": fractions}

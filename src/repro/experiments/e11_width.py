@@ -1,0 +1,64 @@
+"""E11 — pipeline width and strand sharing.
+
+The two strands share one pipeline's issue slots.  On a workload with
+per-element compute (fp-stream) extra width feeds both strands and IPC
+grows; on the purely miss-bound probe loop (db-hashjoin) one slot per
+cycle already sustains the miss stream, so width barely matters —
+which is exactly the paper's argument for building *narrow* SST cores
+and spending the area on more of them.
+"""
+
+import dataclasses
+
+from repro.config import inorder_machine, sst_machine
+from repro.experiments.spec import expect, experiment
+from repro.stats.report import Table
+from repro.workloads import array_stream, hash_join
+
+WIDTHS = (1, 2, 4)
+
+
+@experiment(
+    eid="e11", slug="width",
+    title="SST IPC vs pipeline width (narrow cores are enough)",
+    tags=("sst", "sizing"),
+    expectations=(
+        expect("compute_wants_width",
+               "the compute mix wants at least a 2-wide pipeline",
+               lambda m: m["ipcs"]["fp-stream"][1]
+               > m["ipcs"]["fp-stream"][0] * 1.1),
+        expect("miss_stream_saturates",
+               "2-wide -> 4-wide buys almost nothing on the miss "
+               "stream (narrow cores are the right design point)",
+               lambda m: abs(m["ipcs"]["db-hashjoin"][2]
+                             - m["ipcs"]["db-hashjoin"][1])
+               / m["ipcs"]["db-hashjoin"][1] < 0.15),
+    ),
+)
+def build(env):
+    hierarchy = env.hierarchy()
+    programs = [
+        array_stream(words=env.scaled(1 << 15)),
+        hash_join(table_words=env.scaled(1 << 16),
+                  probes=env.scaled(3000)),
+    ]
+    table = Table(
+        "E11: SST IPC vs pipeline width (same-width in-order shown)",
+        ["workload", "width", "inorder IPC", "sst IPC", "sst speedup"],
+    )
+    ipcs = {}
+    for program in programs:
+        per_width = []
+        for width in WIDTHS:
+            base = env.run(inorder_machine(hierarchy, width=width),
+                           program)
+            machine = dataclasses.replace(
+                sst_machine(hierarchy, width=width), name=f"sst-{width}w"
+            )
+            result = env.run(machine, program)
+            per_width.append(result.ipc)
+            table.add_row(program.name, width, round(base.ipc, 3),
+                          round(result.ipc, 3),
+                          f"{result.speedup_over(base):.2f}x")
+        ipcs[program.name] = per_width
+    return table, {"ipcs": ipcs, "widths": list(WIDTHS)}

@@ -1,0 +1,113 @@
+"""E17 — simulated CMP scaling (true interleaved shared-L2/DRAM).
+
+Chips of 1/2/4/8 cores, each core on its own seed of the DB probe
+workload, with L2 capacity and MSHRs scaled with the core count (as a
+real chip would be — ROCK shipped a shared L2 sized for 16 cores) so
+the contention left is the off-chip channel.  Run at a generous and a
+starved DRAM bandwidth.
+
+Expected: the in-order chip scales almost linearly (its cores barely
+use the channel) but from a tiny base; the SST chip's aggregate is far
+above it at every point, scaling sublinearly as its speculative traffic
+meets the channel — and visibly flatter when the channel is starved.
+This is the simulated ground truth for E14's analytic model.
+"""
+
+from repro.cmp import Multicore
+from repro.config import (
+    CacheConfig,
+    DRAMConfig,
+    HierarchyConfig,
+    SSTConfig,
+)
+from repro.experiments.spec import expect, experiment
+from repro.stats.report import Table
+from repro.workloads import hash_join
+
+CORE_COUNTS = (1, 2, 4, 8)
+# DRAM minimum start interval: 1 -> 64 B/cyc channel, 8 -> 8 B/cyc.
+BANDWIDTH_POINTS = {"wide": 1, "starved": 8}
+
+
+def _hierarchy(cores: int, interval: int) -> HierarchyConfig:
+    return HierarchyConfig(
+        l1d=CacheConfig(size_bytes=16 * 1024, assoc=4, hit_latency=2,
+                        mshr_entries=16),
+        l1i=CacheConfig(size_bytes=16 * 1024, assoc=4, hit_latency=1,
+                        mshr_entries=4),
+        l2=CacheConfig(size_bytes=128 * 1024 * cores, assoc=8,
+                       hit_latency=20, mshr_entries=16 * cores),
+        dram=DRAMConfig(latency=300, min_interval=interval),
+    )
+
+
+def _programs(env, count: int):
+    return [
+        hash_join(table_words=env.scaled(1 << 14), probes=env.scaled(600),
+                  seed=seed, name=f"db-hashjoin-{seed}")
+        for seed in range(count)
+    ]
+
+
+def _scaling_ok(metrics, channel: str) -> bool:
+    sst = metrics["curves"][f"{channel}/sst"]
+    inorder = metrics["curves"][f"{channel}/inorder"]
+    return (
+        sst[-1] > sst[0]
+        and sst[-1] < 8 * sst[0]
+        and all(s > i for s, i in zip(sst, inorder))
+    )
+
+
+@experiment(
+    eid="e17", slug="multicore",
+    title="Simulated CMP scaling over a shared L2 and DRAM channel",
+    tags=("cmp",),
+    expectations=(
+        expect("wide_channel_scaling",
+               "throughput grows with cores (sublinearly for SST) and "
+               "the SST chip stays above the in-order chip",
+               lambda m: _scaling_ok(m, "wide")),
+        expect("starved_channel_scaling",
+               "the same ordering holds on a starved channel",
+               lambda m: _scaling_ok(m, "starved")),
+        expect("starvation_flattens_sst",
+               "starving the channel flattens the SST curve "
+               "specifically",
+               lambda m: m["curves"]["starved/sst"][-1]
+               < m["curves"]["wide/sst"][-1]
+               and m["curves"]["starved/inorder"][-1]
+               > 0.9 * m["curves"]["wide/inorder"][-1]),
+    ),
+)
+def build(env):
+    table = Table(
+        "E17: simulated multicore scaling (shared L2 + DRAM channel)",
+        ["channel", "cores", "machine", "aggregate IPC",
+         "scaling efficiency"],
+    )
+    curves = {}
+    for channel, interval in BANDWIDTH_POINTS.items():
+        for kind, config in (("sst", SSTConfig(checkpoints=2)),
+                             ("inorder", SSTConfig(checkpoints=0))):
+            base = None
+            points = []
+            for count in CORE_COUNTS:
+                result = env.run_multicore(
+                    Multicore(
+                        _hierarchy(count, interval), [config] * count,
+                        _programs(env, count),
+                    ),
+                    machine=f"{kind}-cmp{count}-{channel}",
+                    program=f"db-hashjoin x{count}",
+                )
+                aggregate = result.aggregate_ipc
+                if base is None:
+                    base = aggregate
+                points.append(aggregate)
+                table.add_row(
+                    channel, count, kind, round(aggregate, 3),
+                    f"{aggregate / (count * base):.0%}",
+                )
+            curves[f"{channel}/{kind}"] = points
+    return table, {"curves": curves, "core_counts": list(CORE_COUNTS)}

@@ -9,7 +9,8 @@ Three scales trade fidelity for runtime:
 The *commercial suite* is the miss-dominated mix standing in for the
 paper's OLTP/DB/app-server workloads; the *compute suite* is the
 SPEC-like contrast.  Working-set sizes are chosen against the reduced
-bench hierarchy (see ``benchmarks/common.py``) so the commercial mix
+bench hierarchy (see ``repro.experiments.bench_env``) so the
+commercial mix
 actually misses in the L2, like the paper's workloads did on ROCK-era
 caches.
 """

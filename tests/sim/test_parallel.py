@@ -168,3 +168,24 @@ def test_sweep_many_forwards_verify(programs, monkeypatch):
                      verify=True, jobs=1)
     assert seen == [True, True]
     assert len(out[programs[0].name]) == 2
+
+
+def test_sweep_skip_drops_diverging_point(programs):
+    """One diverging axis point must not abort the whole sweep."""
+    def make_config(dq_size):
+        machine = sst_machine(small_hierarchy_config(), dq_size=dq_size)
+        machine = dataclasses.replace(machine, name=f"sst-dq{dq_size}")
+        if dq_size == 8:
+            # Sabotage this point so it fails inside the worker, after
+            # construction (the frozen-dataclass bypass keeps
+            # MachineConfig validation out of the way).
+            object.__setattr__(machine, "core_kind", "warp-drive")
+        return machine
+
+    points = sweep(programs[0], [4, 8, 16], make_config, on_error="skip")
+    assert [value for value, _ in points] == [4, 16]
+    assert all(result.instructions > 0 for _, result in points)
+
+    # The default aborts loudly on the same sweep.
+    with pytest.raises(SimTaskError, match="warp-drive"):
+        sweep(programs[0], [4, 8, 16], make_config)

@@ -51,6 +51,48 @@ def test_every_experiment_has_a_bench_module():
         assert match.group(1) in bench_names, match.group(1)
 
 
+def test_bench_adapters_match_registry():
+    """Every ``benchmarks/bench_e*.py`` adapter drives the registered
+    experiment its file name claims, and every registered experiment
+    has exactly one adapter."""
+    import re
+
+    from repro.experiments import list_specs
+
+    expected = {spec.eid: spec.name for spec in list_specs()}
+    adapters = {}
+    for path in sorted((REPO / "benchmarks").glob("bench_e*_*.py")):
+        match = re.search(r'make_bench_test\("(e\d+)"\)', path.read_text())
+        assert match, f"{path.name} does not use make_bench_test"
+        adapters[match.group(1)] = path.stem[len("bench_"):]
+    assert adapters == expected
+
+
+def test_results_tables_and_documents_in_sync():
+    """Generated results come in pairs: for every experiment the stored
+    ``.txt`` table must be exactly the JSON document's rendered table
+    (regenerate with ``repro experiments run`` after changing either
+    side)."""
+    results_dir = REPO / "benchmarks" / "results"
+    json_paths = (
+        sorted(results_dir.glob("e*_*.json")) if results_dir.is_dir()
+        else []
+    )
+    if not json_paths:
+        pytest.skip("no generated results in this checkout")
+    from repro.experiments import load_result_doc
+
+    txt_stems = {path.stem for path in results_dir.glob("e*_*.txt")}
+    assert txt_stems == {path.stem for path in json_paths}
+    for json_path in json_paths:
+        doc = load_result_doc(json_path)  # validates the schema
+        assert doc["experiment"]["name"] == json_path.stem, json_path.name
+        txt = json_path.with_suffix(".txt").read_text()
+        assert txt == doc["table"]["rendered"] + "\n", (
+            f"{json_path.stem}: .txt and .json disagree"
+        )
+
+
 def test_docs_exist_and_are_substantial():
     for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
         text = (REPO / name).read_text()
