@@ -19,6 +19,13 @@ and equally runnable as ``python -m repro``.  Subcommands:
     Summarize stored result documents: mode, wall time, point count,
     and which expectation predicates held.
 
+``repro cache stats|fsck|clear [--cache-dir DIR]``
+    Maintain the content-addressed simulation result cache
+    (``benchmarks/.simcache/`` / ``REPRO_CACHE_DIR``): show on-disk
+    usage, scan-and-repair integrity problems (key-vs-content
+    mismatches, schema-stale entries, corrupt payloads, orphan
+    ``.tmp-*`` files from interrupted stores), or wipe it.
+
 Expectation failures are *reported* but do not fail a run by default:
 at smoke scale the qualitative shapes are indicative only.  Pass
 ``--strict-expectations`` (sensible at full scale) to turn them into
@@ -46,6 +53,7 @@ from repro.experiments import (
     load_result_doc,
 )
 from repro.experiments.spec import ExperimentLookupError
+from repro.sim.cache import ResultCache
 
 
 def _select_specs(ids: List[str], run_all: bool, tag: Optional[str] = None):
@@ -231,6 +239,50 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# cache stats / fsck / clear
+# ---------------------------------------------------------------------------
+
+
+def _open_cache(args: argparse.Namespace) -> ResultCache:
+    return ResultCache(args.cache_dir)
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    info = _open_cache(args).disk_stats()
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    cap = (f"{info['max_bytes']} bytes" if info["max_bytes"] is not None
+           else "unbounded")
+    print(f"cache dir:   {info['dir']}")
+    print(f"schema:      {info['schema']}")
+    print(f"entries:     {info['entries']}")
+    print(f"total size:  {info['total_bytes']} bytes")
+    print(f"orphan tmp:  {info['orphan_tmp']}")
+    print(f"size cap:    {cap}")
+    return 0
+
+
+def _cmd_cache_fsck(args: argparse.Namespace) -> int:
+    report = _open_cache(args).fsck(repair=not args.dry_run)
+    print(f"fsck: {report.summary()}")
+    for name in report.removed:
+        print(f"  removed {name}")
+    # fsck convention: non-zero when problems were found but left in
+    # place (--dry-run); a repairing run that fixed everything exits 0.
+    if args.dry_run and report.problems:
+        return 1
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    removed = cache.clear()
+    print(f"removed {removed} cached result(s) from {cache.root}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Argument parsing.
 # ---------------------------------------------------------------------------
 
@@ -299,6 +351,37 @@ def build_parser() -> argparse.ArgumentParser:
     cmd_report.add_argument("--tables", action="store_true",
                             help="also print each stored table")
     cmd_report.set_defaults(func=_cmd_report)
+
+    cache = top.add_parser(
+        "cache", help="simulation result-cache maintenance")
+    cache_sub = cache.add_subparsers(dest="subcommand", required=True)
+
+    def _add_cache_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                         help="cache directory (default: REPRO_CACHE_DIR "
+                              "or benchmarks/.simcache/)")
+
+    cmd_stats = cache_sub.add_parser(
+        "stats", help="show on-disk cache usage")
+    _add_cache_dir(cmd_stats)
+    cmd_stats.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    cmd_stats.set_defaults(func=_cmd_cache_stats)
+
+    cmd_fsck = cache_sub.add_parser(
+        "fsck", help="scan entries for corruption, key mismatches, "
+                     "stale schemas, and orphan tmp files; repairs by "
+                     "removing offenders")
+    _add_cache_dir(cmd_fsck)
+    cmd_fsck.add_argument("--dry-run", action="store_true",
+                          help="report problems without removing "
+                               "anything (exit 1 if any found)")
+    cmd_fsck.set_defaults(func=_cmd_cache_fsck)
+
+    cmd_clear = cache_sub.add_parser(
+        "clear", help="delete every cached result")
+    _add_cache_dir(cmd_clear)
+    cmd_clear.set_defaults(func=_cmd_cache_clear)
 
     return parser
 

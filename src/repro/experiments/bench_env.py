@@ -17,6 +17,9 @@ relative orderings are the reproduction target.
 Environment knobs (defaults only — constructor arguments win):
 
 * ``REPRO_JOBS`` — worker processes for matrix/suite runs (default 1).
+* ``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES`` — per-point deadline
+  (seconds) and transient-failure retry budget for those runs (see
+  :mod:`repro.sim.resilience`).
 * ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` — content-addressed result
   cache gate and location (default on, ``benchmarks/.simcache/``).
 * ``REPRO_BENCH_MAX_INSTRUCTIONS`` — per-run instruction budget
@@ -86,7 +89,9 @@ class BenchEnv:
     def __init__(self, *, smoke: Optional[bool] = None,
                  max_instructions: Optional[int] = None,
                  cache: Any = _UNSET,
-                 jobs: Optional[int] = None):
+                 jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None):
         self.smoke = smoke_from_env() if smoke is None else bool(smoke)
         self.max_instructions = (
             max_instructions_from_env() if max_instructions is None
@@ -96,6 +101,11 @@ class BenchEnv:
             cache_from_env() if cache is _UNSET else cache
         )
         self.jobs = jobs
+        # Per-task deadline and transient-failure retry budget, threaded
+        # through to every ParallelRunner this environment builds (None
+        # defers to REPRO_TASK_TIMEOUT / REPRO_TASK_RETRIES).
+        self.timeout = timeout
+        self.retries = retries
         # One JSON-ready record per simulation point routed through
         # this environment (see _record / record_multicore).
         self.points: List[Dict[str, Any]] = []
@@ -166,9 +176,13 @@ class BenchEnv:
 
     # -- execution -----------------------------------------------------
 
+    def _runner(self, jobs: Optional[int]) -> ParallelRunner:
+        return ParallelRunner(jobs, cache=self.cache,
+                              timeout=self.timeout, retries=self.retries)
+
     def run(self, config: MachineConfig, program: Program) -> CoreResult:
         """One benchmark point, through the result cache."""
-        runner = ParallelRunner(jobs=1, cache=self.cache)
+        runner = self._runner(1)
         task = SimTask(config=config, program=program,
                        max_instructions=self.max_instructions)
         result = runner.run([task])[0]
@@ -179,7 +193,7 @@ class BenchEnv:
     def run_many(self, tasks: List[SimTask]) -> List[CoreResult]:
         """A batch of points through the pool (``REPRO_JOBS``/``jobs``)
         + cache, results in submission order."""
-        runner = ParallelRunner(self.jobs, cache=self.cache)
+        runner = self._runner(self.jobs)
         results = runner.run(tasks)
         for task, result in zip(tasks, results):
             if result is not None:

@@ -3,6 +3,7 @@ verify against the golden model, sweep parameters, compare cores —
 in parallel and with content-addressed result caching."""
 
 from repro.sim.cache import (
+    FsckReport,
     ResultCache,
     ResultCacheStats,
     SIM_SCHEMA_VERSION,
@@ -10,6 +11,7 @@ from repro.sim.cache import (
     result_key,
 )
 from repro.sim.compare import compare_machines, speedup_table
+from repro.sim.faults import FaultPlan, fault_plan_from_env, parse_fault_spec
 from repro.sim.machine import Machine, build_core, build_hierarchy
 from repro.sim.parallel import (
     ParallelRunner,
@@ -19,23 +21,43 @@ from repro.sim.parallel import (
     resolve_jobs,
     run_simulations,
 )
+from repro.sim.resilience import (
+    KIND_CACHE_CORRUPT,
+    KIND_POOL_TIMEOUT,
+    KIND_TASK_ERROR,
+    KIND_WORKER_CRASH,
+    TRANSIENT_KINDS,
+    RetryPolicy,
+    resolve_retries,
+)
 from repro.sim.runner import simulate, verify_against_golden
 from repro.sim.sweep import sweep, sweep_many
 
 __all__ = [
+    "FaultPlan",
+    "FsckReport",
+    "KIND_CACHE_CORRUPT",
+    "KIND_POOL_TIMEOUT",
+    "KIND_TASK_ERROR",
+    "KIND_WORKER_CRASH",
     "Machine",
     "ParallelRunner",
     "ResultCache",
     "ResultCacheStats",
+    "RetryPolicy",
     "SIM_SCHEMA_VERSION",
     "SimTask",
     "SimTaskError",
+    "TRANSIENT_KINDS",
     "TaskOutcome",
     "build_core",
     "build_hierarchy",
     "cache_from_env",
     "compare_machines",
+    "fault_plan_from_env",
+    "parse_fault_spec",
     "resolve_jobs",
+    "resolve_retries",
     "result_key",
     "run_simulations",
     "simulate",

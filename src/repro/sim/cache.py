@@ -36,7 +36,7 @@ import json
 import os
 import pathlib
 import tempfile
-from typing import Any, Dict, Optional, Type
+from typing import Any, Dict, List, Optional, Type
 
 from repro.baselines.core_base import CoreResult
 from repro.baselines.ooo.ooo_core import OoOStats
@@ -53,6 +53,7 @@ from repro.isa.program import Program
 from repro.memory.cache import CacheStats
 from repro.memory.hierarchy import HierarchyStats
 from repro.memory.sparse_memory import SparseMemory
+from repro.sim import faults
 from repro.stats.histogram import Histogram
 
 # Bump on ANY change to core timing/functional semantics or to the
@@ -223,7 +224,38 @@ class ResultCacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
-    invalid: int = 0  # corrupt / schema-mismatched files treated as misses
+    invalid: int = 0  # corrupt / stale / mismatched files treated as misses
+    evictions: int = 0  # entries removed by the LRU size cap
+
+
+@dataclasses.dataclass
+class FsckReport:
+    """What one :meth:`ResultCache.fsck` scan found (and removed)."""
+
+    scanned: int = 0
+    ok: int = 0
+    key_mismatch: int = 0  # stored "key" field != the addressing filename
+    schema_stale: int = 0  # written under an older SIM_SCHEMA_VERSION
+    corrupt: int = 0       # unparseable JSON or undecodable payload
+    orphan_tmp: int = 0    # .tmp-* leftovers from interrupted stores
+    repaired: bool = False
+    removed: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def problems(self) -> int:
+        return (self.key_mismatch + self.schema_stale + self.corrupt
+                + self.orphan_tmp)
+
+    def summary(self) -> str:
+        verb = "removed" if self.repaired else "found"
+        return (
+            f"{self.scanned} entries scanned: {self.ok} ok, "
+            f"{self.key_mismatch} key-mismatched, "
+            f"{self.schema_stale} schema-stale, "
+            f"{self.corrupt} corrupt, "
+            f"{self.orphan_tmp} orphan tmp files "
+            f"({self.problems} {verb})"
+        )
 
 
 class ResultCache:
@@ -231,14 +263,33 @@ class ResultCache:
 
     Concurrent writers (parallel sweeps, independent processes) are safe:
     files are written to a temp name and atomically renamed, and any
-    reader that finds a corrupt or stale file treats it as a miss.
+    reader that finds a corrupt or stale file treats it as a miss.  A
+    loaded entry must also carry the requested key in its ``"key"``
+    field, so a renamed or copied cache file can never silently serve
+    the wrong simulation's result.
+
+    ``max_bytes`` (or ``REPRO_CACHE_MAX_BYTES``) caps the directory
+    size: after each store, least-recently-used entries (by mtime; hits
+    refresh it) are evicted until the cap holds.  Unset means unbounded.
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None):
+    def __init__(self, root: Optional[os.PathLike] = None, *,
+                 max_bytes: Optional[int] = None):
         self.root = pathlib.Path(
             root if root is not None
             else os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
         )
+        if max_bytes is None:
+            env = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+            if env:
+                try:
+                    max_bytes = int(env)
+                except ValueError:
+                    raise ReproError(
+                        f"REPRO_CACHE_MAX_BYTES must be an integer, "
+                        f"got {env!r}"
+                    ) from None
+        self.max_bytes = max_bytes
         self.stats = ResultCacheStats()
 
     def key(self, config: Any, program: Program,
@@ -247,6 +298,21 @@ class ResultCache:
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
+
+    def _entries(self) -> List[pathlib.Path]:
+        """Real cache entries (pathlib's ``*.json`` also matches hidden
+        ``.tmp-*.json`` leftovers, which are not entries)."""
+        if not self.root.is_dir():
+            return []
+        return [path for path in self.root.glob("*.json")
+                if path.is_file() and not path.name.startswith(".tmp-")]
+
+    def _orphans(self) -> List[pathlib.Path]:
+        """``.tmp-*`` leftovers from interrupted stores."""
+        if not self.root.is_dir():
+            return []
+        return [path for path in self.root.glob(".tmp-*")
+                if path.is_file()]
 
     def load(self, key: str) -> Optional[CoreResult]:
         """The cached result for ``key``, or None (counts a miss)."""
@@ -263,6 +329,10 @@ class ResultCache:
         try:
             if payload.get("schema") != SIM_SCHEMA_VERSION:
                 raise CacheCodecError("schema version mismatch")
+            if payload.get("key") != key:
+                raise CacheCodecError(
+                    "stored key does not match the addressing filename"
+                )
             result = decode_value(payload["result"])
             if not isinstance(result, CoreResult):
                 raise CacheCodecError("cached payload is not a CoreResult")
@@ -271,6 +341,11 @@ class ResultCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        if self.max_bytes is not None:
+            try:  # refresh LRU recency; best-effort (read-only mounts)
+                os.utime(path)
+            except OSError:
+                pass
         return result
 
     def store(self, key: str, result: CoreResult) -> None:
@@ -282,6 +357,11 @@ class ResultCache:
             "result": encode_value(result),
         }
         text = json.dumps(payload)
+        if faults.should_corrupt_store():
+            # Injected corruption (REPRO_FAULT_INJECT=corrupt-cache:N):
+            # a truncated payload, as an interrupted non-atomic writer
+            # would have left behind.
+            text = text[: max(1, len(text) // 2)]
         handle, tmp_name = tempfile.mkstemp(
             dir=self.root, prefix=".tmp-", suffix=".json"
         )
@@ -296,23 +376,133 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        if self.max_bytes is not None:
+            self._evict_to_cap()
 
-    def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
-        removed = 0
-        if self.root.is_dir():
-            for path in self.root.glob("*.json"):
+    def invalidate(self, key: str) -> bool:
+        """Quarantine (delete) the entry for ``key``; True if one
+        existed.  Counted in ``stats.invalid``."""
+        try:
+            self._path(key).unlink()
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        self.stats.invalid += 1
+        return True
+
+    def _evict_to_cap(self) -> None:
+        """Drop least-recently-used entries until ``max_bytes`` holds."""
+        assert self.max_bytes is not None
+        sized = []
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            sized.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in sized)
+        sized.sort()  # oldest mtime first
+        for _, size, path in sized:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.stats.evictions += 1
+
+    # -- integrity ----------------------------------------------------
+
+    def fsck(self, repair: bool = True) -> FsckReport:
+        """Scan every entry for integrity problems; with ``repair``
+        (default) remove what fails.
+
+        Checks per entry: parseable JSON, current schema version, the
+        stored ``"key"`` field matching the addressing filename, and a
+        decodable :class:`CoreResult` payload.  Orphan ``.tmp-*`` files
+        from interrupted stores are always flagged (and removed under
+        ``repair``).
+        """
+        report = FsckReport(repaired=repair)
+        bad: List[pathlib.Path] = []
+        for path in sorted(self._entries()):
+            report.scanned += 1
+            problem = self._check_entry(path)
+            if problem is None:
+                report.ok += 1
+                continue
+            setattr(report, problem, getattr(report, problem) + 1)
+            bad.append(path)
+        orphans = sorted(self._orphans())
+        report.orphan_tmp = len(orphans)
+        if repair:
+            for path in bad + orphans:
                 try:
                     path.unlink()
-                    removed += 1
                 except OSError:
-                    pass
+                    continue
+                report.removed.append(path.name)
+        return report
+
+    def _check_entry(self, path: pathlib.Path) -> Optional[str]:
+        """The FsckReport counter an entry violates, or None if sound."""
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return "corrupt"
+        if not isinstance(payload, dict):
+            return "corrupt"
+        if payload.get("schema") != SIM_SCHEMA_VERSION:
+            return "schema_stale"
+        if payload.get("key") != path.stem:
+            return "key_mismatch"
+        try:
+            result = decode_value(payload["result"])
+            if not isinstance(result, CoreResult):
+                raise CacheCodecError("not a CoreResult")
+        except (CacheCodecError, KeyError, TypeError, ValueError):
+            return "corrupt"
+        return None
+
+    def disk_stats(self) -> Dict[str, Any]:
+        """On-disk usage (for ``repro cache stats``)."""
+        entries = self._entries()
+        total = 0
+        for path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return {
+            "dir": str(self.root),
+            "schema": SIM_SCHEMA_VERSION,
+            "entries": len(entries),
+            "total_bytes": total,
+            "orphan_tmp": len(self._orphans()),
+            "max_bytes": self.max_bytes,
+        }
+
+    def clear(self) -> int:
+        """Delete every cached entry (and any ``.tmp-*`` leftovers);
+        returns the number of *entries* removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in self._orphans():
+            try:
+                path.unlink()
+            except OSError:
+                pass
         return removed
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*.json"))
+        return len(self._entries())
 
 
 def cache_enabled_by_env() -> bool:

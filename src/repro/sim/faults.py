@@ -1,0 +1,218 @@
+"""Deterministic fault injection for the parallel engine.
+
+Every recovery path in :mod:`repro.sim.parallel` and
+:mod:`repro.sim.cache` can be exercised on demand by setting
+``REPRO_FAULT_INJECT`` to a comma-separated list of directives:
+
+``crash:P[@N|@all]``
+    A task crashes its worker with probability ``P`` (0 < P <= 1).
+    Whether a given task crashes is *deterministic*: a SHA-256 over the
+    task label decides, so the same sweep injects the same faults every
+    run.  By default a doomed task crashes only on attempt 1 (so
+    retries always recover it); ``@N`` extends the sabotage to attempts
+    1..N and ``@all`` to every attempt (for retry-exhaustion testing).
+    ``P >= 1`` dooms every task.
+
+``hang:SUBSTR[@N|@all]``
+    A task whose label contains ``SUBSTR`` hangs: inside a pool worker
+    it sleeps until the per-task deadline reaps it; on the inline path
+    it reports a synthetic pool-timeout without sleeping.  Attempt
+    scoping as for ``crash`` (default: attempt 1 only).
+
+``corrupt-cache:N``
+    Every Nth :meth:`ResultCache.store <repro.sim.cache.ResultCache
+    .store>` writes a truncated (unparseable) payload instead of the
+    real one, exercising the corrupt-entry quarantine and ``fsck``
+    paths.
+
+Example: ``REPRO_FAULT_INJECT="crash:0.1,hang:e2/btree,corrupt-cache:3"``.
+
+Injection never changes *measured results*: a crashed or hung task is
+re-simulated from scratch and a corrupted cache entry is quarantined
+and re-simulated, so a faulty run's cycle counts are bit-identical to a
+fault-free run (enforced by ``tests/sim/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+
+ENV_VAR = "REPRO_FAULT_INJECT"
+
+# Attempt ceiling meaning "sabotage every attempt".
+EVERY_ATTEMPT = -1
+
+# Default sleep for an injected hang inside a pool worker.  The
+# collector's deadline reaps the worker long before this expires; the
+# value only bounds how long a hang can stall a run with no timeout.
+HANG_SECONDS = 3600.0
+
+
+def _fraction(material: str) -> float:
+    """A deterministic [0, 1) fraction derived from ``material``."""
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A parsed ``REPRO_FAULT_INJECT`` spec."""
+
+    crash_prob: float = 0.0
+    crash_attempts: int = 1
+    hang_match: Optional[str] = None
+    hang_attempts: int = 1
+    corrupt_every: int = 0
+    hang_seconds: float = HANG_SECONDS
+    spec: str = ""
+
+    def _in_scope(self, attempt: int, limit: int) -> bool:
+        return limit == EVERY_ATTEMPT or attempt <= limit
+
+    def should_crash(self, label: str, attempt: int) -> bool:
+        """Does the task called ``label`` crash on this attempt?"""
+        if self.crash_prob <= 0:
+            return False
+        if not self._in_scope(attempt, self.crash_attempts):
+            return False
+        if self.crash_prob >= 1:
+            return True
+        return _fraction(f"crash:{label}") < self.crash_prob
+
+    def should_hang(self, label: str, attempt: int) -> bool:
+        """Does the task called ``label`` hang on this attempt?"""
+        if self.hang_match is None:
+            return False
+        if not self._in_scope(attempt, self.hang_attempts):
+            return False
+        return self.hang_match in label
+
+
+def _split_attempts(arg: str, directive: str) -> "tuple[str, int]":
+    """Split a ``VALUE[@N|@all]`` argument into (value, attempt limit)."""
+    if "@" not in arg:
+        return arg, 1
+    value, _, scope = arg.rpartition("@")
+    if scope == "all":
+        return value, EVERY_ATTEMPT
+    try:
+        attempts = int(scope)
+    except ValueError:
+        raise ConfigError(
+            f"{ENV_VAR}: bad attempt scope {scope!r} in {directive!r} "
+            f"(expected an integer or 'all')"
+        ) from None
+    if attempts < 1:
+        raise ConfigError(
+            f"{ENV_VAR}: attempt scope must be >= 1 in {directive!r}"
+        )
+    return value, attempts
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULT_INJECT`` spec string (see module docs).
+
+    Raises :class:`~repro.errors.ConfigError` on any grammar violation
+    so a typo fails loudly instead of silently injecting nothing.
+    """
+    fields: Dict[str, object] = {"spec": spec}
+    for directive in spec.split(","):
+        directive = directive.strip()
+        if not directive:
+            continue
+        kind, sep, arg = directive.partition(":")
+        kind = kind.strip()
+        arg = arg.strip()
+        if not sep or not arg:
+            raise ConfigError(
+                f"{ENV_VAR}: directive {directive!r} must look like "
+                f"kind:value"
+            )
+        if kind == "crash":
+            value, attempts = _split_attempts(arg, directive)
+            try:
+                prob = float(value)
+            except ValueError:
+                raise ConfigError(
+                    f"{ENV_VAR}: crash probability must be a number, "
+                    f"got {value!r}"
+                ) from None
+            if not 0 < prob <= 1:
+                raise ConfigError(
+                    f"{ENV_VAR}: crash probability must be in (0, 1], "
+                    f"got {prob}"
+                )
+            fields["crash_prob"] = prob
+            fields["crash_attempts"] = attempts
+        elif kind == "hang":
+            value, attempts = _split_attempts(arg, directive)
+            if not value:
+                raise ConfigError(
+                    f"{ENV_VAR}: hang needs a label substring"
+                )
+            fields["hang_match"] = value
+            fields["hang_attempts"] = attempts
+        elif kind == "corrupt-cache":
+            try:
+                every = int(arg)
+            except ValueError:
+                raise ConfigError(
+                    f"{ENV_VAR}: corrupt-cache interval must be an "
+                    f"integer, got {arg!r}"
+                ) from None
+            if every < 1:
+                raise ConfigError(
+                    f"{ENV_VAR}: corrupt-cache interval must be >= 1, "
+                    f"got {every}"
+                )
+            fields["corrupt_every"] = every
+        else:
+            raise ConfigError(
+                f"{ENV_VAR}: unknown fault kind {kind!r} "
+                f"(expected crash, hang, or corrupt-cache)"
+            )
+    return FaultPlan(**fields)  # type: ignore[arg-type]
+
+
+# Parsed plans memoized by spec string — the env var is consulted per
+# task, the grammar only once per distinct value.
+_PLAN_MEMO: Dict[str, FaultPlan] = {}
+
+# 1-based count of cache stores this process has performed, driving the
+# deterministic every-Nth corrupt-cache schedule.
+_STORE_COUNTER = 0
+
+
+def fault_plan_from_env() -> Optional[FaultPlan]:
+    """The active :class:`FaultPlan`, or None when ``REPRO_FAULT_INJECT``
+    is unset/empty."""
+    spec = os.environ.get(ENV_VAR, "").strip()
+    if not spec:
+        return None
+    plan = _PLAN_MEMO.get(spec)
+    if plan is None:
+        plan = parse_fault_spec(spec)
+        _PLAN_MEMO[spec] = plan
+    return plan
+
+
+def should_corrupt_store() -> bool:
+    """Advance the store counter; True when this store should write a
+    corrupted payload (every Nth under ``corrupt-cache:N``)."""
+    plan = fault_plan_from_env()
+    if plan is None or plan.corrupt_every < 1:
+        return False
+    global _STORE_COUNTER
+    _STORE_COUNTER += 1
+    return _STORE_COUNTER % plan.corrupt_every == 0
+
+
+def reset_fault_state() -> None:
+    """Reset the store counter (test isolation)."""
+    global _STORE_COUNTER
+    _STORE_COUNTER = 0

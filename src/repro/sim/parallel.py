@@ -14,21 +14,29 @@ one execution engine behind :func:`repro.sim.sweep.sweep`,
 * **ordered collection** — results come back in task-submission order
   regardless of completion order, so sweeps stay aligned with their
   axis;
-* **crash isolation** — a task that raises (e.g. a diverging config
-  exhausting its instruction budget) reports a per-task failure instead
-  of killing the whole batch; ``on_error="skip"`` drops such points,
-  ``"raise"`` re-raises after every other point has finished;
-* **per-task timeout** — ``timeout`` seconds (or ``REPRO_TASK_TIMEOUT``)
-  bounds each point; on expiry the pool is torn down and unfinished
-  points report timeout failures;
+* **failure taxonomy** — every failure is classified structurally
+  (:mod:`repro.sim.resilience`): deterministic simulation errors
+  (``task-error``) are reported immediately; per-task deadline expiry
+  (``pool-timeout``) and dead workers (``worker-crash``) are transient
+  and retried with exponential backoff up to ``REPRO_TASK_RETRIES``
+  extra rounds, each round re-dispatching *only* the unfinished tasks
+  on a fresh pool — finished points are never re-run; ``on_error``
+  ("raise"/"skip") governs what happens to failures that exhaust their
+  retries;
 * **result cache** — when given a
   :class:`~repro.sim.cache.ResultCache`, cached points are restored
-  without touching the pool and fresh results are persisted afterwards.
+  without touching the pool; a cached entry that fails integrity
+  checking (``cache-corrupt``) is quarantined and the point re-simulated,
+  and a store that fails (full disk, unregistered stats type) warns and
+  continues instead of discarding the finished batch;
+* **fault injection** — ``REPRO_FAULT_INJECT``
+  (:mod:`repro.sim.faults`) deterministically exercises every one of
+  these recovery paths.
 
 Workers recompute nothing hidden: a task is (config, program, budget,
 verify) and the worker calls the same :func:`repro.sim.runner.simulate`
-the serial path uses, so parallel results are bit-identical to serial
-ones.
+the serial path uses, so parallel results — including retried ones —
+are bit-identical to serial, failure-free runs.
 """
 
 from __future__ import annotations
@@ -36,13 +44,24 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
-from typing import Any, List, Optional, Sequence
+import time
+import warnings
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.baselines.core_base import CoreResult, DEFAULT_MAX_INSTRUCTIONS
 from repro.config import MachineConfig
 from repro.errors import ConfigError, ReproError
 from repro.isa.program import Program
-from repro.sim.cache import ResultCache
+from repro.sim.cache import CacheCodecError, ResultCache
+from repro.sim.faults import fault_plan_from_env
+from repro.sim.resilience import (
+    KIND_CACHE_CORRUPT,
+    KIND_POOL_TIMEOUT,
+    KIND_TASK_ERROR,
+    KIND_WORKER_CRASH,
+    RetryPolicy,
+    policy_from_env,
+)
 from repro.sim.runner import simulate, verify_against_golden
 
 
@@ -69,12 +88,21 @@ class SimTask:
 
 @dataclasses.dataclass
 class TaskOutcome:
-    """What happened to one task: a result, or an isolated failure."""
+    """What happened to one task: a result, or a classified failure.
+
+    ``kind`` is one of the :mod:`repro.sim.resilience` taxonomy values
+    (``task-error``, ``pool-timeout``, ``worker-crash``,
+    ``cache-corrupt``) whenever ``error`` is set, and None on success.
+    ``attempts`` counts execution attempts, so a point recovered by the
+    retry machinery is distinguishable from one that succeeded outright.
+    """
 
     task: SimTask
     result: Optional[CoreResult] = None
     error: Optional[str] = None
     cached: bool = False
+    kind: Optional[str] = None
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -105,8 +133,32 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, jobs)
 
 
-def _execute_task(task: SimTask):
-    """Pool worker body: never raises (crash isolation)."""
+def _execute_task(task: SimTask, attempt: int = 1,
+                  in_pool: bool = False) -> Tuple[str, Any]:
+    """Pool worker body: never raises (crash isolation).
+
+    Returns a (status, payload) pair; ``status`` is ``"ok"``,
+    ``"error"`` (the simulation raised — deterministic), ``"crash"``
+    (injected worker death), or ``"timeout"`` (injected hang on the
+    inline path, where there is no deadline to reap a real sleep).
+    """
+    plan = fault_plan_from_env()
+    if plan is not None:
+        if plan.should_crash(task.label, attempt):
+            return "crash", (
+                f"injected worker crash (REPRO_FAULT_INJECT, "
+                f"attempt {attempt})"
+            )
+        if plan.should_hang(task.label, attempt):
+            if in_pool:
+                # A real hang: the collector's per-task deadline reaps
+                # this worker, exercising the pool-timeout path.
+                time.sleep(plan.hang_seconds)
+            else:
+                return "timeout", (
+                    f"injected hang (REPRO_FAULT_INJECT, "
+                    f"attempt {attempt})"
+                )
     try:
         result = simulate(
             task.config, task.program, verify=task.verify,
@@ -118,17 +170,24 @@ def _execute_task(task: SimTask):
 
 
 class ParallelRunner:
-    """Runs batches of :class:`SimTask` with caching and a process pool."""
+    """Runs batches of :class:`SimTask` with caching, a process pool,
+    and transient-failure retries."""
 
     def __init__(self, jobs: Optional[int] = None, *,
                  timeout: Optional[float] = None,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 retries: Optional[int] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.jobs = resolve_jobs(jobs)
         if timeout is None:
             env = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
             timeout = float(env) if env else None
         self.timeout = timeout
         self.cache = cache
+        self.retry_policy = (
+            retry_policy if retry_policy is not None
+            else policy_from_env(retries)
+        )
 
     # ------------------------------------------------------------------
 
@@ -140,24 +199,22 @@ class ParallelRunner:
         pending: List[int] = []
         for index, task in enumerate(tasks):
             hit = self._try_cache_load(task)
-            if hit is not None:
-                outcomes[index] = hit
-            else:
+            if hit is None:
                 pending.append(index)
+            elif hit.kind == KIND_CACHE_CORRUPT:
+                # The entry was quarantined inside _try_cache_load;
+                # fall through to re-simulation so one bad file cannot
+                # poison this point forever.
+                pending.append(index)
+            else:
+                outcomes[index] = hit
 
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                executed = self._run_pool([tasks[i] for i in pending])
-            else:
-                executed = [self._run_inline(tasks[i]) for i in pending]
+            executed = self._execute_batch([tasks[i] for i in pending])
             for index, outcome in zip(pending, executed):
                 outcomes[index] = outcome
                 if outcome.ok and self.cache is not None:
-                    key = self.cache.key(
-                        outcome.task.config, outcome.task.program,
-                        outcome.task.max_instructions,
-                    )
-                    self.cache.store(key, outcome.result)
+                    self._store_result(outcome)
 
         return [outcome for outcome in outcomes if outcome is not None]
 
@@ -176,7 +233,9 @@ class ParallelRunner:
         failures = [o for o in outcomes if not o.ok]
         if failures and on_error == "raise":
             summary = "; ".join(
-                f"{o.task.label}: {o.error}" for o in failures[:4]
+                f"{o.task.label}: [{o.kind} after {o.attempts} "
+                f"attempt(s)] {o.error}"
+                for o in failures[:4]
             )
             raise SimTaskError(
                 f"{len(failures)}/{len(outcomes)} simulation tasks "
@@ -184,6 +243,8 @@ class ParallelRunner:
             )
         return [outcome.result for outcome in outcomes]
 
+    # ------------------------------------------------------------------
+    # Caching.
     # ------------------------------------------------------------------
 
     def _try_cache_load(self, task: SimTask) -> Optional[TaskOutcome]:
@@ -200,73 +261,143 @@ class ParallelRunner:
             try:
                 verify_against_golden(result, task.program)
             except Exception as exc:  # noqa: BLE001
-                return TaskOutcome(task=task, cached=True,
-                                   error=f"{type(exc).__name__}: {exc}")
+                self.cache.invalidate(key)
+                return TaskOutcome(
+                    task=task, cached=True, kind=KIND_CACHE_CORRUPT,
+                    error=(f"quarantined corrupt cache entry: "
+                           f"{type(exc).__name__}: {exc}"),
+                )
         return TaskOutcome(task=task, result=result, cached=True)
 
-    def _run_inline(self, task: SimTask) -> TaskOutcome:
-        status, payload = _execute_task(task)
-        if status == "ok":
-            return TaskOutcome(task=task, result=payload)
-        return TaskOutcome(task=task, error=payload)
+    def _store_result(self, outcome: TaskOutcome) -> None:
+        """Persist one finished result; a store failure (full disk,
+        unregistered stats type) must not discard the batch."""
+        assert self.cache is not None and outcome.result is not None
+        key = self.cache.key(
+            outcome.task.config, outcome.task.program,
+            outcome.task.max_instructions,
+        )
+        try:
+            self.cache.store(key, outcome.result)
+        except (CacheCodecError, OSError) as exc:
+            warnings.warn(
+                f"result cache store failed for {outcome.task.label} "
+                f"({type(exc).__name__}: {exc}); result kept in memory, "
+                f"continuing without caching this point",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
-    def _run_pool(self, tasks: List[SimTask]) -> List[TaskOutcome]:
+    # ------------------------------------------------------------------
+    # Execution with retry rounds.
+    # ------------------------------------------------------------------
+
+    def _execute_batch(self, tasks: List[SimTask]) -> List[TaskOutcome]:
+        """All tasks through retry rounds; one final outcome per task,
+        in submission order.
+
+        Round 1 runs everything; each later round re-dispatches only
+        the tasks whose failure kind is transient (pool-timeout,
+        worker-crash) on a *fresh* pool, so a hung worker from an
+        earlier round can never block a retry.
+        """
+        final: List[Optional[TaskOutcome]] = [None] * len(tasks)
+        remaining = list(range(len(tasks)))
+        attempt = 1
+        while remaining:
+            batch = [tasks[i] for i in remaining]
+            if self.jobs > 1 and len(batch) > 1:
+                round_outcomes = self._pool_round(batch, attempt)
+            else:
+                round_outcomes = [self._run_inline(task, attempt)
+                                  for task in batch]
+            retry: List[int] = []
+            for index, outcome in zip(remaining, round_outcomes):
+                outcome.attempts = attempt
+                final[index] = outcome
+                if not outcome.ok and self.retry_policy.should_retry(
+                        outcome.kind, attempt):
+                    retry.append(index)
+            if retry:
+                self.retry_policy.pause(attempt)
+            remaining = retry
+            attempt += 1
+        return [outcome for outcome in final if outcome is not None]
+
+    def _run_inline(self, task: SimTask, attempt: int = 1) -> TaskOutcome:
+        status, payload = _execute_task(task, attempt)
+        return self._classify(task, status, payload)
+
+    def _pool_round(self, tasks: List[SimTask],
+                    attempt: int) -> List[TaskOutcome]:
+        """One dispatch of ``tasks`` over a fresh pool.
+
+        Each task gets its own collection deadline; a task that times
+        out is reported as ``pool-timeout`` while the rest of the batch
+        keeps collecting (other workers are still making progress).  If
+        anything timed out the pool is torn down at the end of the
+        round — its hung workers can never drain — and the retry round
+        builds a new one.
+        """
         workers = min(self.jobs, len(tasks))
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods()
             else None
         )
         outcomes: List[TaskOutcome] = []
+        timed_out = False
         pool = context.Pool(processes=workers)
-        aborted = False
         try:
-            handles = [pool.apply_async(_execute_task, (task,))
+            handles = [pool.apply_async(_execute_task,
+                                        (task, attempt, True))
                        for task in tasks]
             for task, handle in zip(tasks, handles):
-                if aborted:
-                    # Pool already torn down by an earlier timeout;
-                    # salvage anything that finished before it.
-                    outcome = self._collect_finished(task, handle)
-                else:
-                    outcome = self._collect(task, handle)
-                    if outcome.error is not None \
-                            and outcome.error.startswith("TimeoutError"):
-                        pool.terminate()
-                        aborted = True
+                outcome = self._collect(task, handle)
+                if outcome.kind == KIND_POOL_TIMEOUT:
+                    timed_out = True
                 outcomes.append(outcome)
         finally:
-            if not aborted:
+            if timed_out:
+                pool.terminate()
+            else:
                 pool.close()
             pool.join()
         return outcomes
 
-    def _collect(self, task: SimTask, handle) -> TaskOutcome:
+    def _collect(self, task: SimTask, handle: Any) -> TaskOutcome:
         try:
             status, payload = handle.get(self.timeout)
         except multiprocessing.TimeoutError:
-            return TaskOutcome(task=task, error=(
-                f"TimeoutError: no result within {self.timeout}s"
+            # Structural classification: only the pool's own deadline
+            # machinery lands here.  A workload raising TimeoutError
+            # inside simulate comes back as a task-error payload.
+            return TaskOutcome(task=task, kind=KIND_POOL_TIMEOUT, error=(
+                f"no result within {self.timeout}s"
             ))
-        except Exception as exc:  # worker process died (e.g. signal)
-            return TaskOutcome(task=task,
+        except Exception as exc:  # worker died / untransportable result
+            return TaskOutcome(task=task, kind=KIND_WORKER_CRASH,
                                error=f"{type(exc).__name__}: {exc}")
+        return self._classify(task, status, payload)
+
+    @staticmethod
+    def _classify(task: SimTask, status: str, payload: Any) -> TaskOutcome:
         if status == "ok":
             return TaskOutcome(task=task, result=payload)
-        return TaskOutcome(task=task, error=payload)
-
-    def _collect_finished(self, task: SimTask, handle) -> TaskOutcome:
-        if handle.ready():
-            return self._collect(task, handle)
-        return TaskOutcome(task=task, error=(
-            "TimeoutError: batch aborted by an earlier task timeout"
-        ))
+        kind = {
+            "error": KIND_TASK_ERROR,
+            "crash": KIND_WORKER_CRASH,
+            "timeout": KIND_POOL_TIMEOUT,
+        }[status]
+        return TaskOutcome(task=task, kind=kind, error=payload)
 
 
 def run_simulations(tasks: Sequence[SimTask], *,
                     jobs: Optional[int] = None,
                     timeout: Optional[float] = None,
                     cache: Optional[ResultCache] = None,
+                    retries: Optional[int] = None,
                     on_error: str = "raise") -> List[Optional[CoreResult]]:
     """One-shot convenience wrapper over :class:`ParallelRunner`."""
-    runner = ParallelRunner(jobs, timeout=timeout, cache=cache)
+    runner = ParallelRunner(jobs, timeout=timeout, cache=cache,
+                            retries=retries)
     return runner.run(tasks, on_error=on_error)

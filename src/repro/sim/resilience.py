@@ -1,0 +1,119 @@
+"""Failure taxonomy and retry policy for the parallel engine.
+
+SST is itself a recovery architecture: a failed speculative episode
+rolls the core back to a checkpoint and replays instead of crashing the
+pipeline.  The batch runner applies the same discipline to whole
+simulation points.  Every failure a :class:`~repro.sim.parallel
+.ParallelRunner` can observe is classified *structurally* into one of
+four kinds — never by matching exception-name strings, which confuses a
+workload that happens to raise ``TimeoutError`` with the pool's own
+deadline machinery:
+
+``task-error``
+    The simulation itself raised (diverging config, instruction-budget
+    runaway, illegal operation).  Deterministic: retrying would fail
+    identically, so these are reported immediately.
+
+``pool-timeout``
+    The per-task deadline (``timeout`` / ``REPRO_TASK_TIMEOUT``)
+    expired before the worker produced a result.  Transient: the task
+    may simply have been queued behind a hung sibling, so it is
+    re-dispatched on a fresh pool.
+
+``worker-crash``
+    The worker process died or its result could not be transported
+    back (killed by a signal, unpicklable payload).  Transient.
+
+``cache-corrupt``
+    A cached result failed integrity checking (golden verification,
+    key mismatch, codec failure).  The entry is quarantined and the
+    point falls through to re-simulation — one bad file can never
+    poison a point permanently.
+
+Transient kinds are retried with exponential backoff up to
+``REPRO_TASK_RETRIES`` extra rounds (default 2); each retry round runs
+only the still-unfinished tasks on a fresh worker pool, so finished
+points are never re-simulated and their results are bit-identical to a
+failure-free run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+
+# The closed failure taxonomy (TaskOutcome.kind values).
+KIND_TASK_ERROR = "task-error"
+KIND_POOL_TIMEOUT = "pool-timeout"
+KIND_WORKER_CRASH = "worker-crash"
+KIND_CACHE_CORRUPT = "cache-corrupt"
+
+ALL_KINDS = frozenset({
+    KIND_TASK_ERROR, KIND_POOL_TIMEOUT, KIND_WORKER_CRASH,
+    KIND_CACHE_CORRUPT,
+})
+
+# Kinds worth retrying through the pool.  ``cache-corrupt`` recovers by
+# a different route (quarantine + unconditional re-simulation, not
+# subject to the retry budget) and ``task-error`` is deterministic.
+TRANSIENT_KINDS = frozenset({KIND_POOL_TIMEOUT, KIND_WORKER_CRASH})
+
+DEFAULT_TASK_RETRIES = 2
+
+
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """Retry budget: explicit argument, else ``REPRO_TASK_RETRIES``,
+    else :data:`DEFAULT_TASK_RETRIES`."""
+    if retries is None:
+        env = os.environ.get("REPRO_TASK_RETRIES", "").strip()
+        if not env:
+            return DEFAULT_TASK_RETRIES
+        try:
+            retries = int(env)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_TASK_RETRIES must be an integer, got {env!r}"
+            ) from None
+    if retries < 0:
+        raise ConfigError(
+            f"task retries must be >= 0, got {retries}"
+        )
+    return retries
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How many extra rounds transient failures get, and how long to
+    back off between rounds (exponential, capped)."""
+
+    retries: int = DEFAULT_TASK_RETRIES
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    sleeper: Callable[[float], None] = time.sleep
+
+    def should_retry(self, kind: Optional[str], attempt: int) -> bool:
+        """Does a failure of ``kind`` on (1-based) ``attempt`` earn
+        another round?"""
+        return kind in TRANSIENT_KINDS and attempt <= self.retries
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the round following (1-based) ``attempt``."""
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+
+    def pause(self, attempt: int) -> None:
+        delay = self.delay(attempt)
+        if delay > 0:
+            self.sleeper(delay)
+
+
+def policy_from_env(retries: Optional[int] = None) -> RetryPolicy:
+    """A :class:`RetryPolicy` honoring ``REPRO_TASK_RETRIES``."""
+    return RetryPolicy(retries=resolve_retries(retries))

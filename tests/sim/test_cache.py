@@ -1,7 +1,10 @@
 """Content-addressed result cache: key stability, invalidation, codec
-round-trips, and warm-cache reuse with zero re-simulation."""
+round-trips, warm-cache reuse with zero re-simulation, integrity
+(key-field checking, fsck, quarantine), and the LRU size cap."""
 
 import dataclasses
+import os
+import shutil
 
 import pytest
 
@@ -178,3 +181,225 @@ def test_warm_run_does_zero_resimulation(tmp_path, program, monkeypatch):
     assert [outcome.result for outcome in outcomes] == cold
     assert warm_cache.stats.hits == len(tasks)
     assert warm_cache.stats.misses == 0
+
+
+# ---------------------------------------------------------------------------
+# Bugfix: a renamed/copied file must not serve the wrong result.
+# ---------------------------------------------------------------------------
+
+
+def test_key_mismatched_file_is_invalid_not_served(tmp_path, config,
+                                                   program):
+    cache = ResultCache(tmp_path)
+    result = simulate(config, program)
+    key = cache.key(config, program, 1000)
+    other_key = cache.key(config, program, 2000)
+    cache.store(key, result)
+    # Simulate a rename/copy mistake: the file now addresses a point it
+    # does not contain.
+    shutil.copy(tmp_path / f"{key}.json", tmp_path / f"{other_key}.json")
+
+    assert cache.load(other_key) is None  # never the wrong result
+    assert cache.stats.invalid == 1
+    assert cache.load(key) == result  # the honest entry still serves
+
+    report = ResultCache(tmp_path).fsck()
+    assert report.key_mismatch == 1
+    assert report.ok == 1
+    assert not (tmp_path / f"{other_key}.json").exists()
+    assert (tmp_path / f"{key}.json").exists()
+
+
+# ---------------------------------------------------------------------------
+# Bugfix: a corrupt cached result is quarantined and re-simulated, not
+# a permanent error.
+# ---------------------------------------------------------------------------
+
+
+def _store_doctored(cache, task):
+    """Cache a result whose architectural state will fail golden
+    verification (silent bit-rot in a cached file)."""
+    result = simulate(task.config, task.program,
+                      max_instructions=task.max_instructions)
+    result.state.regs[1] ^= 0xDEAD
+    key = cache.key(task.config, task.program, task.max_instructions)
+    cache.store(key, result)
+    return key
+
+
+def test_verify_failure_quarantines_and_resimulates(tmp_path, config,
+                                                    program):
+    cache = ResultCache(tmp_path)
+    task = SimTask(config=config, program=program, verify=True)
+    key = _store_doctored(cache, task)
+
+    outcomes = ParallelRunner(jobs=1, cache=cache).run_outcomes([task])
+    assert outcomes[0].ok  # the point recovered by re-simulation
+    assert not outcomes[0].cached
+    assert cache.stats.invalid == 1
+    # The quarantined entry was replaced by the sound re-simulation...
+    assert ResultCache(tmp_path).load(key) == outcomes[0].result
+    # ...so the next run is a clean cache hit.
+    again = ParallelRunner(jobs=1, cache=ResultCache(tmp_path)) \
+        .run_outcomes([task])
+    assert again[0].cached and again[0].result == outcomes[0].result
+
+
+def test_try_cache_load_reports_cache_corrupt_kind(tmp_path, config,
+                                                   program):
+    from repro.sim.resilience import KIND_CACHE_CORRUPT
+
+    cache = ResultCache(tmp_path)
+    task = SimTask(config=config, program=program, verify=True)
+    key = _store_doctored(cache, task)
+
+    runner = ParallelRunner(jobs=1, cache=cache)
+    provisional = runner._try_cache_load(task)
+    assert provisional is not None and not provisional.ok
+    assert provisional.kind == KIND_CACHE_CORRUPT
+    assert "quarantined" in provisional.error
+    assert not (tmp_path / f"{key}.json").exists()  # deleted, not kept
+
+
+# ---------------------------------------------------------------------------
+# Bugfix: a store failure must not discard the finished batch.
+# ---------------------------------------------------------------------------
+
+
+def test_codec_store_failure_warns_and_continues(tmp_path, config,
+                                                 program, monkeypatch):
+    # Doctor the codec registry: CoreResult itself becomes unregistered,
+    # as a newly added stats dataclass would be.
+    monkeypatch.delitem(cache_mod._DATACLASSES, "CoreResult")
+    runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+    task = SimTask(config=config, program=program)
+    with pytest.warns(RuntimeWarning, match="cache store failed"):
+        outcomes = runner.run_outcomes([task])
+    assert outcomes[0].ok  # the finished result survived
+    assert outcomes[0].result.instructions > 0
+    assert len(ResultCache(tmp_path)) == 0
+
+
+def test_disk_store_failure_warns_and_continues(tmp_path, config,
+                                                program):
+    blocked = tmp_path / "not-a-dir"
+    blocked.write_text("in the way")  # mkdir(parents=True) will raise
+    runner = ParallelRunner(jobs=1, cache=ResultCache(blocked))
+    task = SimTask(config=config, program=program)
+    with pytest.warns(RuntimeWarning, match="cache store failed"):
+        outcomes = runner.run_outcomes([task])
+    assert outcomes[0].ok
+
+
+# ---------------------------------------------------------------------------
+# fsck.
+# ---------------------------------------------------------------------------
+
+
+def test_fsck_classifies_and_repairs_everything(tmp_path, config,
+                                                program):
+    cache = ResultCache(tmp_path)
+    result = simulate(config, program)
+    good_key = cache.key(config, program, 1000)
+    cache.store(good_key, result)
+
+    # Key mismatch: a copy addressing the wrong point.
+    mismatch_key = cache.key(config, program, 2000)
+    shutil.copy(tmp_path / f"{good_key}.json",
+                tmp_path / f"{mismatch_key}.json")
+    # Schema-stale: written under an older SIM_SCHEMA_VERSION.
+    stale = dict(schema=cache_mod.SIM_SCHEMA_VERSION - 1, key="00ff",
+                 result=None)
+    import json as json_mod
+    (tmp_path / "00ff.json").write_text(json_mod.dumps(stale))
+    # Corrupt: unparseable JSON.
+    (tmp_path / "beef.json").write_text("{definitely not json")
+    # Orphan tmp file from an interrupted store.
+    (tmp_path / ".tmp-abc123.json").write_text("partial write")
+
+    dry = ResultCache(tmp_path).fsck(repair=False)
+    assert (dry.scanned, dry.ok) == (4, 1)
+    assert dry.key_mismatch == 1 and dry.schema_stale == 1
+    assert dry.corrupt == 1 and dry.orphan_tmp == 1
+    assert dry.problems == 4 and not dry.removed
+    assert (tmp_path / "beef.json").exists()  # dry run removed nothing
+
+    report = ResultCache(tmp_path).fsck()
+    assert report.problems == 4
+    assert sorted(report.removed) == sorted([
+        f"{mismatch_key}.json", "00ff.json", "beef.json",
+        ".tmp-abc123.json",
+    ])
+    survivors = ResultCache(tmp_path)
+    assert len(survivors) == 1
+    assert survivors.load(good_key) == result
+    assert survivors.fsck().problems == 0
+
+
+def test_fsck_on_missing_dir_is_empty(tmp_path):
+    report = ResultCache(tmp_path / "never-created").fsck()
+    assert report.scanned == 0 and report.problems == 0
+
+
+def test_len_and_clear_ignore_tmp_orphans(tmp_path, config, program):
+    cache = ResultCache(tmp_path)
+    cache.store(cache.key(config, program, 1000),
+                simulate(config, program))
+    (tmp_path / ".tmp-orphan.json").write_text("x")
+    assert len(cache) == 1  # the orphan is not an entry
+    assert cache.disk_stats()["orphan_tmp"] == 1
+    assert cache.clear() == 1  # one *entry* removed...
+    assert not (tmp_path / ".tmp-orphan.json").exists()  # ...orphan too
+
+
+def test_invalidate_counts_and_deletes(tmp_path, config, program):
+    cache = ResultCache(tmp_path)
+    key = cache.key(config, program, 1000)
+    assert not cache.invalidate(key)  # nothing there yet
+    cache.store(key, simulate(config, program))
+    assert cache.invalidate(key)
+    assert cache.stats.invalid == 1
+    assert cache.load(key) is None
+
+
+# ---------------------------------------------------------------------------
+# LRU size cap.
+# ---------------------------------------------------------------------------
+
+
+def test_lru_eviction_respects_cap_and_recency(tmp_path, config,
+                                               program):
+    unbounded = ResultCache(tmp_path)
+    result = simulate(config, program)
+    keys = [unbounded.key(config, program, budget)
+            for budget in (1000, 2000, 3000)]
+    for index, key in enumerate(keys):
+        unbounded.store(key, result)
+        # Distinct, strictly increasing mtimes regardless of fs
+        # timestamp granularity.
+        os.utime(tmp_path / f"{key}.json", (index, index))
+
+    entry_bytes = (tmp_path / f"{keys[0]}.json").stat().st_size
+    capped = ResultCache(tmp_path, max_bytes=3 * entry_bytes + 10)
+    # A hit refreshes recency, making keys[0] the most recently used.
+    assert capped.load(keys[0]) == result
+    newest = unbounded.key(config, program, 4000)
+    capped.store(newest, result)
+    os.utime(tmp_path / f"{newest}.json", None)
+
+    # The cap holds and the least-recently-used entry (keys[1]) went.
+    assert capped.stats.evictions == 1
+    remaining = {path.stem for path in tmp_path.glob("*.json")}
+    assert keys[1] not in remaining
+    assert {keys[0], keys[2], newest} <= remaining
+
+
+def test_cache_max_bytes_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+    assert ResultCache(tmp_path).max_bytes == 12345
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "lots")
+    with pytest.raises(Exception, match="REPRO_CACHE_MAX_BYTES"):
+        ResultCache(tmp_path)
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES")
+    assert ResultCache(tmp_path).max_bytes is None
+    assert ResultCache(tmp_path, max_bytes=7).max_bytes == 7

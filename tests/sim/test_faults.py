@@ -1,0 +1,204 @@
+"""REPRO_FAULT_INJECT: spec grammar, deterministic fault decisions,
+corrupt-cache injection end-to-end, and the acceptance property that a
+faulty sweep's measured results are bit-identical to a clean one."""
+
+import json
+
+import pytest
+
+from repro.config import inorder_machine, sst_machine
+from repro.errors import ConfigError
+from repro.sim.cache import ResultCache
+from repro.sim.faults import (
+    EVERY_ATTEMPT,
+    FaultPlan,
+    fault_plan_from_env,
+    parse_fault_spec,
+    reset_fault_state,
+    should_corrupt_store,
+)
+from repro.sim.parallel import ParallelRunner, SimTask
+from repro.sim.resilience import RetryPolicy
+from repro.workloads import hash_join, pointer_chase
+from tests.conftest import small_hierarchy_config
+
+FAST_RETRY = RetryPolicy(retries=3, backoff_base=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_state(monkeypatch):
+    """Each test pins its own fault spec; an ambient one (the CI
+    fault-injection matrix) must not stack on top, and the
+    corrupt-cache store counter must start from zero."""
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+    reset_fault_state()
+    yield
+    reset_fault_state()
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return [hash_join(table_words=256, probes=32),
+            pointer_chase(chains=2, nodes_per_chain=64, hops=40)]
+
+
+def _matrix(programs):
+    return [SimTask(config=config, program=program)
+            for program in programs
+            for config in (inorder_machine(small_hierarchy_config()),
+                           sst_machine(small_hierarchy_config()))]
+
+
+# ---------------------------------------------------------------------------
+# Spec grammar.
+# ---------------------------------------------------------------------------
+
+
+def test_parse_full_spec():
+    plan = parse_fault_spec("crash:0.1,hang:e2/btree,corrupt-cache:3")
+    assert plan.crash_prob == 0.1
+    assert plan.crash_attempts == 1
+    assert plan.hang_match == "e2/btree"
+    assert plan.hang_attempts == 1
+    assert plan.corrupt_every == 3
+
+
+def test_parse_attempt_scopes():
+    plan = parse_fault_spec("crash:1@all,hang:x@4")
+    assert plan.crash_attempts == EVERY_ATTEMPT
+    assert plan.hang_attempts == 4
+
+
+def test_parse_rejects_bad_specs():
+    for bad in ("crash", "crash:", "crash:lots", "crash:0", "crash:1.5",
+                "crash:0.5@zero", "crash:0.5@0", "hang:",
+                "corrupt-cache:x", "corrupt-cache:0", "explode:1"):
+        with pytest.raises(ConfigError, match="REPRO_FAULT_INJECT"):
+            parse_fault_spec(bad)
+
+
+def test_empty_spec_and_env(monkeypatch):
+    assert parse_fault_spec("") == FaultPlan()
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    assert fault_plan_from_env() is None
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:0.5")
+    assert fault_plan_from_env().crash_prob == 0.5
+
+
+# ---------------------------------------------------------------------------
+# Deterministic decisions.
+# ---------------------------------------------------------------------------
+
+
+def test_crash_decision_is_deterministic_per_label():
+    plan = parse_fault_spec("crash:0.5")
+    decisions = {label: plan.should_crash(label, 1)
+                 for label in (f"machine/prog{i}" for i in range(64))}
+    again = {label: plan.should_crash(label, 1)
+             for label in decisions}
+    assert decisions == again
+    assert any(decisions.values()) and not all(decisions.values())
+    # First-attempt-only by default: retries always recover.
+    assert not any(plan.should_crash(label, 2) for label in decisions)
+
+
+def test_crash_probability_one_dooms_everyone():
+    assert parse_fault_spec("crash:1").should_crash("anything", 1)
+    assert not parse_fault_spec("crash:1").should_crash("anything", 2)
+    assert parse_fault_spec("crash:1@all").should_crash("anything", 99)
+
+
+def test_hang_matches_label_substring():
+    plan = parse_fault_spec("hang:btree")
+    assert plan.should_hang("sst/e2-btree-lookup", 1)
+    assert not plan.should_hang("sst/hash-join", 1)
+    assert not plan.should_hang("sst/e2-btree-lookup", 2)
+
+
+def test_corrupt_store_schedule(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "corrupt-cache:3")
+    schedule = [should_corrupt_store() for _ in range(6)]
+    assert schedule == [False, False, True, False, False, True]
+    monkeypatch.delenv("REPRO_FAULT_INJECT")
+    assert not should_corrupt_store()
+
+
+# ---------------------------------------------------------------------------
+# Corrupt-cache injection end-to-end.
+# ---------------------------------------------------------------------------
+
+
+def test_corrupt_cache_injection_quarantined_on_reload(
+        tmp_path, programs, monkeypatch):
+    task = SimTask(config=sst_machine(small_hierarchy_config()),
+                   program=programs[0], verify=True)
+
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "corrupt-cache:1")
+    cache = ResultCache(tmp_path)
+    cold = ParallelRunner(jobs=1, cache=cache).run_outcomes([task])
+    assert cold[0].ok and not cold[0].cached
+    key = cache.key(task.config, task.program, task.max_instructions)
+    # The injected store wrote a truncated payload...
+    with pytest.raises(json.JSONDecodeError):
+        json.loads((tmp_path / f"{key}.json").read_text())
+
+    # ...which a later run detects, treats as a miss, and re-simulates
+    # (results identical to the cold run), then re-stores a sound entry.
+    monkeypatch.delenv("REPRO_FAULT_INJECT")
+    warm_cache = ResultCache(tmp_path)
+    warm = ParallelRunner(jobs=1, cache=warm_cache).run_outcomes([task])
+    assert warm[0].ok and not warm[0].cached
+    assert warm[0].result == cold[0].result
+    assert warm_cache.stats.invalid >= 1
+    assert warm_cache.load(key) == warm[0].result
+
+
+def test_fsck_detects_injected_corruption(tmp_path, programs, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "corrupt-cache:2")
+    cache = ResultCache(tmp_path)
+    tasks = _matrix(programs)
+    ParallelRunner(jobs=1, cache=cache).run_outcomes(tasks)
+    report = ResultCache(tmp_path).fsck()
+    assert report.scanned == len(tasks)
+    assert report.corrupt == len(tasks) // 2  # every 2nd store sabotaged
+    assert report.ok == len(tasks) - report.corrupt
+    assert len(ResultCache(tmp_path)) == report.ok
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: injected faults never change measured results.
+# ---------------------------------------------------------------------------
+
+
+def test_crash_injected_sweep_bit_identical_to_clean_run(
+        programs, monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    clean = ParallelRunner(jobs=2).run(_matrix(programs))
+
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:0.5")
+    faulty = ParallelRunner(jobs=2, retry_policy=FAST_RETRY) \
+        .run_outcomes(_matrix(programs))
+    assert all(outcome.ok for outcome in faulty)
+    # Retries recovered at least one injected crash...
+    assert any(outcome.attempts > 1 for outcome in faulty)
+    # ...and recovery is invisible in the measurements: cycle counts
+    # (and the full results) are bit-identical to the clean run.
+    for result, outcome in zip(clean, faulty):
+        assert outcome.result.cycles == result.cycles
+        assert outcome.result == result
+
+
+def test_hang_injected_sweep_bit_identical_to_clean_run(
+        programs, monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    clean = ParallelRunner(jobs=2).run(_matrix(programs))
+
+    monkeypatch.setenv("REPRO_FAULT_INJECT", f"hang:{programs[0].name}")
+    faulty = ParallelRunner(jobs=2, timeout=1.0,
+                            retry_policy=FAST_RETRY) \
+        .run_outcomes(_matrix(programs))
+    assert all(outcome.ok for outcome in faulty)
+    assert any(outcome.attempts > 1 for outcome in faulty)
+    for result, outcome in zip(clean, faulty):
+        assert outcome.result == result

@@ -1,0 +1,242 @@
+"""Failure taxonomy + retry/backoff: structural classification (never
+exception-name strings), fresh-pool re-dispatch of unfinished tasks,
+retry exhaustion, and the REPRO_TASK_RETRIES knob."""
+
+import dataclasses
+
+import pytest
+
+import repro.sim.parallel as parallel_mod
+from repro.config import inorder_machine, sst_machine
+from repro.errors import ConfigError
+from repro.sim.parallel import ParallelRunner, SimTask, SimTaskError
+from repro.sim.resilience import (
+    DEFAULT_TASK_RETRIES,
+    KIND_POOL_TIMEOUT,
+    KIND_TASK_ERROR,
+    KIND_WORKER_CRASH,
+    TRANSIENT_KINDS,
+    RetryPolicy,
+    resolve_retries,
+)
+from repro.workloads import hash_join, pointer_chase
+from tests.conftest import small_hierarchy_config
+
+FAST_RETRY = RetryPolicy(retries=3, backoff_base=0.0)
+NO_RETRY = RetryPolicy(retries=0)
+
+
+@pytest.fixture(autouse=True)
+def _pinned_fault_env(monkeypatch):
+    """These tests assert attempt counts and failure kinds, so an
+    ambient fault spec (e.g. the CI fault-injection matrix) must not
+    add faults beyond what each test injects itself."""
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+    monkeypatch.delenv("REPRO_TASK_RETRIES", raising=False)
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return [hash_join(table_words=256, probes=32),
+            pointer_chase(chains=2, nodes_per_chain=64, hops=40)]
+
+
+def _tasks(programs):
+    return [SimTask(config=config, program=program)
+            for program in programs
+            for config in (inorder_machine(small_hierarchy_config()),
+                           sst_machine(small_hierarchy_config()))]
+
+
+# ---------------------------------------------------------------------------
+# Bugfix regression: a workload raising TimeoutError is a task-error,
+# not a pool timeout, and must not abort the remaining batch.
+# ---------------------------------------------------------------------------
+
+
+def test_workload_timeout_error_is_task_error_not_pool_timeout(
+        programs, monkeypatch):
+    """The old code matched error.startswith("TimeoutError") and tore
+    down the pool, killing every in-flight point."""
+    real_simulate = parallel_mod.simulate
+    poison = programs[1].name
+
+    def simulate_with_timeout(config, program, **kwargs):
+        if program.name == poison:
+            raise TimeoutError("from workload")
+        return real_simulate(config, program, **kwargs)
+
+    monkeypatch.setattr(parallel_mod, "simulate", simulate_with_timeout)
+    tasks = _tasks(programs)  # fork inherits the patched module
+    outcomes = ParallelRunner(jobs=2, retry_policy=FAST_RETRY) \
+        .run_outcomes(tasks)
+
+    poisoned = [o for o in outcomes if o.task.program.name == poison]
+    healthy = [o for o in outcomes if o.task.program.name != poison]
+    assert poisoned and healthy
+    for outcome in poisoned:
+        assert not outcome.ok
+        assert outcome.kind == KIND_TASK_ERROR
+        assert "TimeoutError: from workload" in outcome.error
+        # Deterministic failures are not retried.
+        assert outcome.attempts == 1
+    # The batch was not aborted: every healthy point finished.
+    for outcome in healthy:
+        assert outcome.ok, outcome.error
+    assert all(o.kind != KIND_POOL_TIMEOUT for o in outcomes)
+
+
+# ---------------------------------------------------------------------------
+# Transient-kind retries.
+# ---------------------------------------------------------------------------
+
+
+def test_injected_crash_recovers_with_retry(programs, monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    baseline = ParallelRunner(jobs=1, retry_policy=NO_RETRY) \
+        .run_outcomes(_tasks(programs))
+
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:1")  # attempt 1 only
+    runner = ParallelRunner(jobs=1, retry_policy=FAST_RETRY)
+    outcomes = runner.run_outcomes(_tasks(programs))
+    for base, outcome in zip(baseline, outcomes):
+        assert outcome.ok
+        assert outcome.attempts == 2  # crashed once, recovered
+        assert outcome.result == base.result  # bit-identical recovery
+
+
+def test_retry_exhaustion_reports_kind_and_attempts(programs, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:1@all")
+    runner = ParallelRunner(jobs=1,
+                            retry_policy=RetryPolicy(retries=2,
+                                                     backoff_base=0.0))
+    task = SimTask(config=sst_machine(small_hierarchy_config()),
+                   program=programs[0])
+    outcomes = runner.run_outcomes([task])
+    assert not outcomes[0].ok
+    assert outcomes[0].kind == KIND_WORKER_CRASH
+    assert outcomes[0].attempts == 3  # 1 try + 2 retries, all sabotaged
+
+    with pytest.raises(SimTaskError, match="worker-crash after 3"):
+        runner.run([task])
+
+
+def test_no_retry_budget_fails_on_first_crash(programs, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:1")
+    runner = ParallelRunner(jobs=1, retry_policy=NO_RETRY)
+    outcomes = runner.run_outcomes(
+        [SimTask(config=sst_machine(small_hierarchy_config()),
+                 program=programs[0])])
+    assert not outcomes[0].ok
+    assert outcomes[0].kind == KIND_WORKER_CRASH
+    assert outcomes[0].attempts == 1
+
+
+def test_deterministic_task_error_never_retried(programs):
+    bad = SimTask(config=sst_machine(small_hierarchy_config()),
+                  program=programs[0], max_instructions=10)
+    outcomes = ParallelRunner(jobs=1, retry_policy=FAST_RETRY) \
+        .run_outcomes([bad])
+    assert outcomes[0].kind == KIND_TASK_ERROR
+    assert outcomes[0].attempts == 1
+
+
+# ---------------------------------------------------------------------------
+# Pool timeouts: only unfinished tasks are re-dispatched.
+# ---------------------------------------------------------------------------
+
+
+def test_hang_redispatches_only_unfinished_tasks(programs, monkeypatch):
+    """A hung point times out and retries on a fresh pool; the points
+    that finished are kept (attempts == 1) and results stay
+    bit-identical to a clean run."""
+    clean = ParallelRunner(jobs=2, retry_policy=NO_RETRY) \
+        .run_outcomes(_tasks(programs))
+
+    monkeypatch.setenv("REPRO_FAULT_INJECT",
+                       f"hang:{programs[1].name}")
+    runner = ParallelRunner(jobs=2, timeout=1.0, retry_policy=FAST_RETRY)
+    outcomes = runner.run_outcomes(_tasks(programs))
+    for base, outcome in zip(clean, outcomes):
+        assert outcome.ok, outcome.error
+        assert outcome.result == base.result
+        if outcome.task.program.name == programs[1].name:
+            assert outcome.attempts == 2  # hung once, then recovered
+        else:
+            assert outcome.attempts == 1  # finished points never re-run
+
+
+def test_inline_hang_classified_as_pool_timeout(programs, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_INJECT",
+                       f"hang:{programs[0].name}@all")
+    runner = ParallelRunner(jobs=1, retry_policy=NO_RETRY)
+    outcomes = runner.run_outcomes(
+        [SimTask(config=inorder_machine(small_hierarchy_config()),
+                 program=programs[0])])
+    assert not outcomes[0].ok
+    assert outcomes[0].kind == KIND_POOL_TIMEOUT
+    assert "injected hang" in outcomes[0].error
+
+
+# ---------------------------------------------------------------------------
+# Policy mechanics and the REPRO_TASK_RETRIES knob.
+# ---------------------------------------------------------------------------
+
+
+def test_backoff_is_exponential_and_capped():
+    policy = RetryPolicy(retries=5, backoff_base=0.25,
+                         backoff_factor=2.0, backoff_max=1.0)
+    assert policy.delay(1) == 0.25
+    assert policy.delay(2) == 0.5
+    assert policy.delay(3) == 1.0
+    assert policy.delay(4) == 1.0  # capped
+
+
+def test_pause_sleeps_through_injected_sleeper():
+    slept = []
+    policy = RetryPolicy(retries=1, backoff_base=0.5,
+                         sleeper=slept.append)
+    policy.pause(1)
+    policy.pause(2)
+    assert slept == [0.5, 1.0]
+
+
+def test_should_retry_only_transient_kinds():
+    policy = RetryPolicy(retries=2)
+    for kind in TRANSIENT_KINDS:
+        assert policy.should_retry(kind, 1)
+        assert policy.should_retry(kind, 2)
+        assert not policy.should_retry(kind, 3)  # budget exhausted
+    assert not policy.should_retry(KIND_TASK_ERROR, 1)
+    assert not policy.should_retry(None, 1)
+
+
+def test_resolve_retries_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_TASK_RETRIES", raising=False)
+    assert resolve_retries() == DEFAULT_TASK_RETRIES
+    assert resolve_retries(5) == 5
+    monkeypatch.setenv("REPRO_TASK_RETRIES", "7")
+    assert resolve_retries() == 7
+    assert resolve_retries(1) == 1  # explicit argument wins over env
+    monkeypatch.setenv("REPRO_TASK_RETRIES", "many")
+    with pytest.raises(ConfigError, match="REPRO_TASK_RETRIES"):
+        resolve_retries()
+    with pytest.raises(ConfigError, match=">= 0"):
+        resolve_retries(-1)
+
+
+def test_runner_reads_retry_env(monkeypatch):
+    monkeypatch.setenv("REPRO_TASK_RETRIES", "9")
+    assert ParallelRunner(jobs=1).retry_policy.retries == 9
+    assert ParallelRunner(jobs=1, retries=4).retry_policy.retries == 4
+
+
+def test_outcome_dataclass_defaults(programs):
+    task = SimTask(config=inorder_machine(small_hierarchy_config()),
+                   program=programs[0])
+    outcome = dataclasses.replace(
+        parallel_mod.TaskOutcome(task=task), error="boom",
+        kind=KIND_WORKER_CRASH)
+    assert not outcome.ok
+    assert outcome.attempts == 1
