@@ -1,29 +1,16 @@
 #!/usr/bin/env python
-"""Machine-readable simulator-throughput snapshots (``BENCH_*.json``).
+"""Thin adapter over :mod:`repro.experiments.perf`.
 
-Every core surfaces a :class:`repro.core.timing.PerfCounters` under
-``CoreResult.extra["perf"]`` plus host wall-clock timing
-(``wall_seconds``, insts/host-second).  This module turns those into a
-*throughput snapshot*: a fixed measurement set — the paper's machines
-plus the largest out-of-order comparator over the tiny suites, and one
-interleaved multicore point — run uncached, with one JSON entry per
-point and per-machine aggregates.
-
-Snapshots land in ``benchmarks/results/BENCH_<tag>.json`` and are meant
-to be diffed across commits: ``insts_per_host_second`` is the simulator
-performance trajectory, ``skip_fraction`` / ``l1d_fastpath_fraction``
-explain *why* it moved (how much of the simulated time was never
-stepped, how many accesses took the single-probe hit path).
-
-:func:`run_perf_smoke` (also reachable as ``run_all.py --perf-smoke``)
-wraps this measurement and compares it against the committed baseline
-``benchmarks/BENCH_smoke.json``, resolved through the results layer so
-it works from any cwd.
+The snapshot/regression-gate logic lives in the package (so the
+``repro perf report`` CLI subcommand and ``run_all.py --perf-smoke``
+share one implementation); this script keeps the historical entry
+point and import surface (``import perf_report``) working.
 
 Usage::
 
     python benchmarks/perf_report.py                # full tiny snapshot
     python benchmarks/perf_report.py --tag nightly  # custom tag
+    python benchmarks/perf_report.py --smoke        # tiny workloads
 
 Requires the ``repro`` package to be importable (``pip install -e .``
 or ``PYTHONPATH=src``).
@@ -32,17 +19,24 @@ or ``PYTHONPATH=src``).
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import pathlib
-import platform
 import sys
-import time
-from typing import Any, Dict, List, Optional
+from typing import List, Optional
 
 try:
-    from repro.experiments import BenchEnv, perf_baseline_path
-    from repro.experiments.results import default_results_dir
+    from repro.experiments.perf import (
+        DEFAULT_PERF_TOLERANCE,
+        REPORT_SCHEMA,
+        aggregate,
+        load_baseline,
+        measure,
+        perf_entry,
+        render,
+        run_perf_smoke,
+        speedup_vs_baseline,
+        write_report,
+    )
 except ImportError as exc:  # pragma: no cover — setup error, not logic
     raise SystemExit(
         "error: the `repro` package is not importable "
@@ -50,243 +44,19 @@ except ImportError as exc:  # pragma: no cover — setup error, not logic
         "`PYTHONPATH=src`."
     ) from None
 
-from repro.cmp import Multicore
-from repro.config import SSTConfig
-from repro.sim.machine import Machine
-from repro.workloads import hash_join
-
-REPORT_SCHEMA = 1
-
-# Default regression gate for run_perf_smoke (CLI flag --perf-tolerance
-# in run_all.py overrides it per run).
-DEFAULT_PERF_TOLERANCE = 0.30
-
-
-# ---------------------------------------------------------------------------
-# Entry extraction — CoreResult -> flat JSON row.
-# ---------------------------------------------------------------------------
-
-
-def perf_entry(result: Any, machine: str = "",
-               wall_seconds: Optional[float] = None) -> Dict[str, Any]:
-    """One snapshot row for a single-core :class:`CoreResult`."""
-    wall = wall_seconds if wall_seconds is not None else result.wall_seconds
-    entry: Dict[str, Any] = {
-        "machine": machine or result.core_name,
-        "program": result.program_name,
-        "cycles": result.cycles,
-        "instructions": result.instructions,
-        "ipc": round(result.ipc, 4),
-        "wall_seconds": round(wall, 4),
-        "insts_per_host_second": (
-            round(result.instructions / wall) if wall > 0 else None
-        ),
-        "sim_cycles_per_second": (
-            round(result.cycles / wall) if wall > 0 else None
-        ),
-    }
-    perf = result.extra.get("perf")
-    if perf is not None:
-        entry["perf"] = perf.as_dict()
-    hier = result.extra.get("hierarchy")
-    if hier is not None:
-        entry["l1d_fastpath_fraction"] = round(
-            hier.l1d_fastpath_fraction, 4
-        )
-    return entry
-
-
-def aggregate(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
-    """Per-machine and whole-snapshot throughput rollups."""
-    machines: Dict[str, Dict[str, float]] = {}
-    for entry in entries:
-        agg = machines.setdefault(entry["machine"], {
-            "instructions": 0, "cycles": 0, "wall_seconds": 0.0,
-            "cycles_stepped": 0, "cycles_skipped": 0,
-        })
-        agg["instructions"] += entry["instructions"]
-        agg["cycles"] += entry["cycles"]
-        agg["wall_seconds"] += entry["wall_seconds"]
-        perf = entry.get("perf")
-        if perf:
-            agg["cycles_stepped"] += perf["cycles_stepped"]
-            agg["cycles_skipped"] += perf["cycles_skipped"]
-    total_insts = 0
-    total_wall = 0.0
-    for name, agg in machines.items():
-        total_insts += agg["instructions"]
-        total_wall += agg["wall_seconds"]
-        agg["wall_seconds"] = round(agg["wall_seconds"], 4)
-        agg["insts_per_host_second"] = (
-            round(agg["instructions"] / agg["wall_seconds"])
-            if agg["wall_seconds"] > 0 else None
-        )
-        seen = agg["cycles_stepped"] + agg["cycles_skipped"]
-        agg["skip_fraction"] = (
-            round(agg["cycles_skipped"] / seen, 4) if seen else 0.0
-        )
-    return {
-        "machines": machines,
-        "total": {
-            "instructions": total_insts,
-            "wall_seconds": round(total_wall, 4),
-            "insts_per_host_second": (
-                round(total_insts / total_wall) if total_wall > 0 else None
-            ),
-        },
-    }
-
-
-def write_report(payload: Dict[str, Any],
-                 path: Optional[pathlib.Path] = None) -> pathlib.Path:
-    if path is None:
-        results_dir = default_results_dir()
-        results_dir.mkdir(parents=True, exist_ok=True)
-        path = results_dir / f"BENCH_{payload['tag']}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
-
-
-# ---------------------------------------------------------------------------
-# The fixed measurement set.
-# ---------------------------------------------------------------------------
-
-
-def measure(tag: str = "report") -> Dict[str, Any]:
-    """Run the snapshot's measurement set (uncached) and collect it.
-
-    Cached results would report the *original* run's wall clock, so the
-    snapshot always simulates: every point goes straight through
-    :class:`repro.sim.machine.Machine`.
-    """
-    env = BenchEnv(cache=None)
-    hierarchy = env.hierarchy()
-    configs = env.paper_machines(hierarchy) + [
-        env.ooo_comparators(hierarchy)[-1]
-    ]
-    programs = env.commercial_suite() + env.compute_suite()
-
-    entries: List[Dict[str, Any]] = []
-    for config in configs:
-        for program in programs:
-            result = Machine(config).run(
-                program, max_instructions=env.max_instructions
-            )
-            entries.append(perf_entry(result, machine=config.name))
-
-    # One interleaved multicore point (the e17 shape, 4 cores).
-    cores = 4
-    cmp_programs = [
-        hash_join(table_words=env.scaled(1 << 14), probes=env.scaled(600),
-                  seed=seed, name=f"db-hashjoin-{seed}")
-        for seed in range(cores)
-    ]
-    started = time.perf_counter()
-    cmp_result = Multicore(
-        hierarchy, [SSTConfig(checkpoints=2)] * cores, cmp_programs
-    ).run(max_instructions=env.max_instructions)
-    cmp_wall = time.perf_counter() - started
-    cmp_entry = {
-        "machine": f"sst-cmp{cores}",
-        "program": f"db-hashjoin x{cores}",
-        "cycles": cmp_result.makespan,
-        "instructions": cmp_result.total_instructions,
-        "ipc": round(cmp_result.aggregate_ipc, 4),
-        "wall_seconds": round(cmp_wall, 4),
-        "insts_per_host_second": (
-            round(cmp_result.total_instructions / cmp_wall)
-            if cmp_wall > 0 else None
-        ),
-        "idle_quanta_skipped": cmp_result.idle_quanta_skipped,
-    }
-
-    single_aggregate = aggregate(entries)
-    entries.append(cmp_entry)
-    return {
-        "schema": REPORT_SCHEMA,
-        "tag": tag,
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        },
-        "entries": entries,
-        "aggregate": single_aggregate,
-    }
-
-
-def render(payload: Dict[str, Any]) -> str:
-    """Human-readable summary of one snapshot."""
-    lines = [f"perf snapshot [{payload['tag']}]",
-             f"{'machine':<16s} {'insts/host-sec':>14s} "
-             f"{'skip%':>7s} {'wall s':>8s}"]
-    for name, agg in sorted(payload["aggregate"]["machines"].items()):
-        rate = agg["insts_per_host_second"]
-        lines.append(
-            f"{name:<16s} {rate if rate is not None else '-':>14} "
-            f"{agg['skip_fraction'] * 100:>6.1f}% "
-            f"{agg['wall_seconds']:>8.2f}"
-        )
-    total = payload["aggregate"]["total"]
-    lines.append(
-        f"{'TOTAL':<16s} "
-        f"{total['insts_per_host_second'] or '-':>14} {'':>7s} "
-        f"{total['wall_seconds']:>8.2f}"
-    )
-    return "\n".join(lines)
-
-
-# ---------------------------------------------------------------------------
-# The --perf-smoke regression gate.
-# ---------------------------------------------------------------------------
-
-
-def run_perf_smoke(tolerance: float = DEFAULT_PERF_TOLERANCE,
-                   baseline_path: Optional[pathlib.Path] = None) -> int:
-    """Measure simulator throughput (tiny scale) against the committed
-    ``BENCH_smoke.json`` baseline.
-
-    The fresh snapshot always replaces the file — ``git diff`` shows the
-    trajectory, and committing it records a new baseline.  The previous
-    (committed) numbers are read *before* the overwrite and the run
-    fails if aggregate insts/host-second dropped by more than
-    ``tolerance`` (a fraction: 0.30 fails on a >30% regression).
-    """
-    os.environ["REPRO_BENCH_SMOKE"] = "1"
-    if baseline_path is None:
-        baseline_path = perf_baseline_path()
-
-    baseline = None
-    try:
-        baseline = json.loads(baseline_path.read_text())
-    except (OSError, json.JSONDecodeError):
-        pass
-
-    payload = measure(tag="smoke")
-    print(render(payload))
-    write_report(payload, baseline_path)
-    print(f"wrote {baseline_path}")
-
-    if baseline is None:
-        print("no committed baseline found; snapshot recorded, "
-              "nothing to compare")
-        return 0
-    try:
-        old = baseline["aggregate"]["total"]["insts_per_host_second"]
-    except (KeyError, TypeError):
-        print("committed baseline is unreadable; snapshot recorded")
-        return 0
-    new = payload["aggregate"]["total"]["insts_per_host_second"]
-    if not old or not new:
-        return 0
-    ratio = new / old
-    print(f"throughput vs committed baseline: {ratio:.2f}x "
-          f"({old} -> {new} insts/host-sec)")
-    if ratio < 1.0 - tolerance:
-        print(f"FAIL: simulator throughput regressed more than "
-              f"{tolerance:.0%} vs the committed baseline",
-              file=sys.stderr)
-        return 1
-    return 0
+__all__ = [
+    "DEFAULT_PERF_TOLERANCE",
+    "REPORT_SCHEMA",
+    "aggregate",
+    "load_baseline",
+    "measure",
+    "perf_entry",
+    "render",
+    "run_perf_smoke",
+    "speedup_vs_baseline",
+    "write_report",
+    "main",
+]
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -74,9 +74,34 @@ class Diagnostic:
         return f"{name}{self.kind.value}{where}: {self.message}"
 
 
+# Lint results are a pure function of program content, and the strict
+# entry points re-lint structurally identical programs on every suite
+# run (each Machine.run builds its workload afresh).  Results are
+# memoized by ``Program.fingerprint()`` — which covers the instruction
+# stream, the data image, *and* the name the diagnostics embed — as an
+# immutable tuple, with a fresh list handed to each caller.  The cache
+# is bounded; on overflow it is simply dropped (lints are cheap to
+# recompute, the bound only guards fuzzing loops that generate
+# unbounded distinct programs).
+_LINT_CACHE: Dict[str, Tuple[Diagnostic, ...]] = {}
+_LINT_CACHE_MAX = 1024
+
+
+def clear_lint_cache() -> None:
+    """Drop all memoized lint results (test hygiene)."""
+    _LINT_CACHE.clear()
+
+
 def lint_program(program: Program) -> List[Diagnostic]:
     """Run every pass; returns all diagnostics, program order."""
-    return ProgramLinter(program).run()
+    key = program.fingerprint()
+    cached = _LINT_CACHE.get(key)
+    if cached is None:
+        if len(_LINT_CACHE) >= _LINT_CACHE_MAX:
+            _LINT_CACHE.clear()
+        cached = tuple(ProgramLinter(program).run())
+        _LINT_CACHE[key] = cached
+    return list(cached)
 
 
 def check_program(program: Program) -> None:

@@ -34,7 +34,7 @@ from repro.baselines.core_base import (
 from repro.branch import BranchUnit
 from repro.config import InOrderConfig
 from repro.core.timing import IssueClock, PerfCounters
-from repro.isa.opcodes import OpClass
+from repro.isa import blockcache
 from repro.isa.program import Program
 from repro.isa.registers import REG_COUNT, ZERO_REG
 from repro.isa.semantics import MASK64
@@ -64,9 +64,11 @@ class InOrderCore(Core):
 
         # Everything touched per instruction is bound into locals: the
         # issue loop below runs tens of millions of times per benchmark
-        # point and attribute hops dominate otherwise.
-        insts = program.instructions
-        n_insts = len(insts)
+        # point and attribute hops dominate otherwise.  Decode comes
+        # from the block cache's flat rows — one tuple unpack per
+        # instruction instead of a dataclass attribute walk.
+        rows = blockcache.rows_for(program)
+        n_insts = len(rows)
         # Direct register-file indexing: writes below guard the zero
         # register, so ``regs[0]`` is invariantly 0 and reads need no
         # special case (ArchState.read_reg's contract, without the call).
@@ -85,19 +87,17 @@ class InOrderCore(Core):
         lat_alu = latencies.alu
         lat_mul = latencies.mul
         lat_div = latencies.div
-        CLS_ALU = OpClass.ALU
-        CLS_MUL = OpClass.MUL
-        CLS_DIV = OpClass.DIV
-        CLS_LOAD = OpClass.LOAD
-        CLS_STORE = OpClass.STORE
-        CLS_PREFETCH = OpClass.PREFETCH
-        CLS_BRANCH = OpClass.BRANCH
-        CLS_JUMP = OpClass.JUMP
-        CLS_JUMP_INDIRECT = OpClass.JUMP_INDIRECT
-        CLS_BARRIER = OpClass.BARRIER
-        CLS_NOP = OpClass.NOP
-        CLS_HALT = OpClass.HALT
-        ARITH = (CLS_ALU, CLS_MUL, CLS_DIV)
+        K_MUL = blockcache.K_MUL
+        K_DIV = blockcache.K_DIV
+        K_LOAD = blockcache.K_LOAD
+        K_STORE = blockcache.K_STORE
+        K_PREFETCH = blockcache.K_PREFETCH
+        K_BRANCH = blockcache.K_BRANCH
+        K_JUMP = blockcache.K_JUMP
+        K_JUMP_INDIRECT = blockcache.K_JUMP_INDIRECT
+        K_BARRIER = blockcache.K_BARRIER
+        K_NOP = blockcache.K_NOP
+        K_HALT = blockcache.K_HALT
         ACC_LOAD = AccessType.LOAD
         ACC_STORE = AccessType.STORE
 
@@ -123,8 +123,8 @@ class InOrderCore(Core):
                 self._check_budget(executed, max_instructions)
             if pc < 0 or pc >= n_insts:
                 self._check_pc(pc)
-            inst = insts[pc]
-            cls = inst.op_class
+            (kind, rd, rs1, rs2, imm, target, fn, sources,
+             _writes, uses_imm, inst) = rows[pc]
 
             cycle = clock.cycle
             earliest = cycle
@@ -134,14 +134,14 @@ class InOrderCore(Core):
                 if fetch_ready > earliest:
                     earliest = fetch_ready
                     stall_reason = "fetch"
-            for src in inst.sources:
+            for src in sources:
                 if reg_ready[src] > earliest:
                     earliest = reg_ready[src]
                     stall_reason = reg_producer[src]
             if stall_reason is not None and earliest > cycle:
                 stalls[stall_reason] += earliest - cycle
 
-            if cls is CLS_HALT:
+            if kind == K_HALT:
                 executed += 1
                 final_cycle = max(earliest, max(reg_ready), last_store_done)
                 total = max(final_cycle, 1)
@@ -172,72 +172,70 @@ class InOrderCore(Core):
             executed += 1
             next_pc = pc + 1
 
-            if cls in ARITH:
-                a = regs[inst.rs1]
-                fn = inst.alu_fn
-                value = (fn(a, inst.imm) if inst.alu_uses_imm
-                         else fn(a, regs[inst.rs2]))
-                if inst.rd != ZERO_REG:
-                    regs[inst.rd] = value
-                    if cls is CLS_ALU:
-                        reg_ready[inst.rd] = slot + lat_alu
-                        reg_producer[inst.rd] = "compute"
-                    else:
-                        reg_ready[inst.rd] = slot + (
-                            lat_mul if cls is CLS_MUL else lat_div
+            if kind <= K_DIV:  # ALU / MUL / DIV
+                a = regs[rs1]
+                value = fn(a, imm) if uses_imm else fn(a, regs[rs2])
+                if rd != ZERO_REG:
+                    regs[rd] = value
+                    if kind == K_MUL or kind == K_DIV:
+                        reg_ready[rd] = slot + (
+                            lat_mul if kind == K_MUL else lat_div
                         )
-                        reg_producer[inst.rd] = "long_op"
-            elif cls is CLS_LOAD:
-                addr = (regs[inst.rs1] + inst.imm) & MASK64
+                        reg_producer[rd] = "long_op"
+                    else:
+                        reg_ready[rd] = slot + lat_alu
+                        reg_producer[rd] = "compute"
+            elif kind == K_LOAD:
+                addr = (regs[rs1] + imm) & MASK64
                 value = mem_read(addr)
                 result = data_access(addr, slot, ACC_LOAD, pc=pc)
-                if inst.rd != ZERO_REG:
-                    regs[inst.rd] = value
-                    reg_ready[inst.rd] = result.ready_cycle
-                    reg_producer[inst.rd] = "memory"
-            elif cls is CLS_STORE:
-                addr = (regs[inst.rs1] + inst.imm) & MASK64
-                mem_write(addr, regs[inst.rs2])
+                if rd != ZERO_REG:
+                    regs[rd] = value
+                    reg_ready[rd] = result.ready_cycle
+                    reg_producer[rd] = "memory"
+            elif kind == K_STORE:
+                addr = (regs[rs1] + imm) & MASK64
+                mem_write(addr, regs[rs2])
                 result = data_access(addr, slot, ACC_STORE, pc=pc)
                 if result.ready_cycle > last_store_done:
                     last_store_done = result.ready_cycle
-            elif cls is CLS_PREFETCH:
-                addr = (regs[inst.rs1] + inst.imm) & MASK64
+            elif kind == K_PREFETCH:
+                addr = (regs[rs1] + imm) & MASK64
                 do_prefetch(addr, slot)
-            elif cls is CLS_BRANCH:
-                taken = inst.branch_fn(regs[inst.rs1], regs[inst.rs2])
+            elif kind == K_BRANCH:
+                taken = fn(regs[rs1], regs[rs2])
                 mispredicted = resolve_cond(pc, taken)
                 if taken:
-                    next_pc = inst.target
+                    next_pc = target
                 if mispredicted:
                     advance_to(slot + lat_alu + mispredict_penalty, "branch")
-            elif cls is CLS_JUMP:
-                if inst.rd != ZERO_REG:
-                    regs[inst.rd] = pc + 1
-                    reg_ready[inst.rd] = slot + 1
-                    reg_producer[inst.rd] = "compute"
+            elif kind == K_JUMP:
+                if rd != ZERO_REG:
+                    regs[rd] = pc + 1
+                    reg_ready[rd] = slot + 1
+                    reg_producer[rd] = "compute"
                 if is_call(inst):
                     push_return(pc + 1)
-                next_pc = inst.target
-            elif cls is CLS_JUMP_INDIRECT:
-                target = (regs[inst.rs1] + inst.imm) & MASK64
+                next_pc = target
+            elif kind == K_JUMP_INDIRECT:
+                target = (regs[rs1] + imm) & MASK64
                 self._check_pc(target)
                 mispredicted = resolve_indirect(
                     pc, target, is_return=is_return(inst)
                 )
-                if inst.rd != ZERO_REG:
-                    regs[inst.rd] = pc + 1
-                    reg_ready[inst.rd] = slot + 1
-                    reg_producer[inst.rd] = "compute"
+                if rd != ZERO_REG:
+                    regs[rd] = pc + 1
+                    reg_ready[rd] = slot + 1
+                    reg_producer[rd] = "compute"
                 if is_call(inst):
                     push_return(pc + 1)
                 next_pc = target
                 if mispredicted:
                     advance_to(slot + lat_alu + mispredict_penalty, "branch")
-            elif cls is CLS_BARRIER:
+            elif kind == K_BARRIER:
                 drain = max(max(reg_ready), last_store_done)
                 advance_to(drain, "drain")
-            elif cls is CLS_NOP:
+            elif kind == K_NOP:
                 pass
             else:  # pragma: no cover - exhaustiveness guard
                 raise AssertionError(f"unhandled opcode {inst.op}")

@@ -46,7 +46,7 @@ from repro.baselines.core_base import (
 from repro.branch import BranchUnit
 from repro.config import OoOConfig
 from repro.core.timing import PerfCounters
-from repro.isa.opcodes import OpClass
+from repro.isa import blockcache
 from repro.isa.program import Program
 from repro.isa.registers import REG_COUNT
 from repro.isa.semantics import MASK64
@@ -112,9 +112,10 @@ class OoOCore(Core):
         lsq_full_stalls = lsq_stall_cycles = 0
 
         # Hot-loop locals (see inorder.py): one dynamic instruction per
-        # iteration, tens of millions of iterations per point.
-        insts = program.instructions
-        n_insts = len(insts)
+        # iteration, tens of millions of iterations per point.  Decode
+        # comes from the block cache's flat rows.
+        rows = blockcache.rows_for(program)
+        n_insts = len(rows)
         # Direct register-file indexing: writes below guard the zero
         # register, so ``regs[0]`` is invariantly 0 and reads need no
         # special case (ArchState.read_reg's contract, without the call).
@@ -140,18 +141,16 @@ class OoOCore(Core):
         lat_mul = latencies.mul
         lat_div = latencies.div
         perfect_disambiguation = config.perfect_disambiguation
-        CLS_ALU = OpClass.ALU
-        CLS_MUL = OpClass.MUL
-        CLS_DIV = OpClass.DIV
-        CLS_LOAD = OpClass.LOAD
-        CLS_STORE = OpClass.STORE
-        CLS_PREFETCH = OpClass.PREFETCH
-        CLS_BRANCH = OpClass.BRANCH
-        CLS_JUMP = OpClass.JUMP
-        CLS_JUMP_INDIRECT = OpClass.JUMP_INDIRECT
-        CLS_BARRIER = OpClass.BARRIER
-        CLS_HALT = OpClass.HALT
-        ARITH = (CLS_ALU, CLS_MUL, CLS_DIV)
+        K_MUL = blockcache.K_MUL
+        K_DIV = blockcache.K_DIV
+        K_LOAD = blockcache.K_LOAD
+        K_STORE = blockcache.K_STORE
+        K_PREFETCH = blockcache.K_PREFETCH
+        K_BRANCH = blockcache.K_BRANCH
+        K_JUMP = blockcache.K_JUMP
+        K_JUMP_INDIRECT = blockcache.K_JUMP_INDIRECT
+        K_BARRIER = blockcache.K_BARRIER
+        K_HALT = blockcache.K_HALT
         ACC_LOAD = AccessType.LOAD
         ACC_STORE = AccessType.STORE
 
@@ -186,8 +185,8 @@ class OoOCore(Core):
                 self._check_budget(executed, max_instructions)
             if pc < 0 or pc >= n_insts:
                 self._check_pc(pc)
-            inst = insts[pc]
-            cls = inst.op_class
+            (kind, rd, rs1, rs2, imm, target, fn, sources,
+             writes_reg, uses_imm, inst) = rows[pc]
             executed += 1
 
             # ---- front end -------------------------------------------
@@ -207,7 +206,7 @@ class OoOCore(Core):
                 fetch_cursor += 1
                 fetch_used = 0
 
-            if cls is CLS_HALT:
+            if kind == K_HALT:
                 cycles = max(last_commit, fetch_slot, 1)
                 if sanitizer is not None:
                     sanitizer.on_halt(executed, regs, state.memory, cycles)
@@ -260,7 +259,7 @@ class OoOCore(Core):
                     iq_stall_cycles += blocking - dispatch
                     dispatch = blocking
                 iq_pop()
-            if cls is CLS_LOAD or cls is CLS_STORE:
+            if kind == K_LOAD or kind == K_STORE:
                 if len(lsq_releases) >= lsq_size:
                     blocking = lsq_releases[0]
                     if blocking > dispatch:
@@ -277,7 +276,7 @@ class OoOCore(Core):
 
             # ---- operand readiness -----------------------------------
             ready = dispatch
-            for src in inst.sources:
+            for src in sources:
                 if reg_complete[src] > ready:
                     ready = reg_complete[src]
             if ready > dispatch:
@@ -285,7 +284,7 @@ class OoOCore(Core):
 
             next_pc = pc + 1
             addr = None
-            if cls is CLS_LOAD:
+            if kind == K_LOAD:
                 ordered = ready
                 if mem_order_barrier > ordered:
                     ordered = mem_order_barrier
@@ -295,7 +294,7 @@ class OoOCore(Core):
                 if ordered > ready:
                     stalls["mem_order"] += ordered - ready
                     ready = ordered
-            elif cls is CLS_STORE:
+            elif kind == K_STORE:
                 if mem_order_barrier > ready:
                     stalls["mem_order"] += mem_order_barrier - ready
                     ready = mem_order_barrier
@@ -308,22 +307,20 @@ class OoOCore(Core):
                 stalls["issue_port"] += slot - ready
 
             # ---- execute (functional + completion time) --------------
-            if cls in ARITH:
-                a = regs[inst.rs1]
-                fn = inst.alu_fn
-                value = (fn(a, inst.imm) if inst.alu_uses_imm
-                         else fn(a, regs[inst.rs2]))
-                if inst.rd:
-                    regs[inst.rd] = value
-                if cls is CLS_ALU:
-                    complete = slot + lat_alu
+            if kind <= K_DIV:  # ALU / MUL / DIV
+                a = regs[rs1]
+                value = fn(a, imm) if uses_imm else fn(a, regs[rs2])
+                if rd:
+                    regs[rd] = value
+                if kind == K_MUL or kind == K_DIV:
+                    complete = slot + (lat_mul if kind == K_MUL else lat_div)
                 else:
-                    complete = slot + (lat_mul if cls is CLS_MUL else lat_div)
-            elif cls is CLS_LOAD:
-                addr = (regs[inst.rs1] + inst.imm) & MASK64
+                    complete = slot + lat_alu
+            elif kind == K_LOAD:
+                addr = (regs[rs1] + imm) & MASK64
                 value = mem_read(addr)
-                if inst.rd:
-                    regs[inst.rd] = value
+                if rd:
+                    regs[rd] = value
                 inflight = store_inflight.get(addr)
                 result = data_access(addr, slot, ACC_LOAD, pc=pc)
                 complete = result.ready_cycle
@@ -335,24 +332,23 @@ class OoOCore(Core):
                     complete = forward if forward > inflight[0] else inflight[0]
                 if complete > last_mem_complete:
                     last_mem_complete = complete
-            elif cls is CLS_STORE:
-                addr = (regs[inst.rs1] + inst.imm) & MASK64
-                mem_write(addr, regs[inst.rs2])
+            elif kind == K_STORE:
+                addr = (regs[rs1] + imm) & MASK64
+                mem_write(addr, regs[rs2])
                 complete = slot + 1  # address+data staged in the LSQ
                 if slot > latest_store_ready:
                     latest_store_ready = slot
                 if complete > last_mem_complete:
                     last_mem_complete = complete
-            elif cls is CLS_PREFETCH:
-                target = (regs[inst.rs1] + inst.imm) & MASK64
-                do_prefetch(target, slot)
+            elif kind == K_PREFETCH:
+                do_prefetch((regs[rs1] + imm) & MASK64, slot)
                 complete = slot + 1
-            elif cls is CLS_BRANCH:
-                taken = inst.branch_fn(regs[inst.rs1], regs[inst.rs2])
+            elif kind == K_BRANCH:
+                taken = fn(regs[rs1], regs[rs2])
                 mispredicted = resolve_cond(pc, taken)
                 complete = slot + lat_alu
                 if taken:
-                    next_pc = inst.target
+                    next_pc = target
                 if mispredicted:
                     redirect = complete + mispredict_penalty
                     peek = (fetch_barrier if fetch_barrier > fetch_cursor
@@ -362,21 +358,21 @@ class OoOCore(Core):
                         branch_redirect_cycles += lost
                     if redirect > fetch_barrier:
                         fetch_barrier = redirect
-            elif cls is CLS_JUMP:
-                if inst.rd:
-                    regs[inst.rd] = pc + 1
+            elif kind == K_JUMP:
+                if rd:
+                    regs[rd] = pc + 1
                 if is_call(inst):
                     push_return(pc + 1)
-                next_pc = inst.target
+                next_pc = target
                 complete = slot + 1
-            elif cls is CLS_JUMP_INDIRECT:
-                target = (regs[inst.rs1] + inst.imm) & MASK64
+            elif kind == K_JUMP_INDIRECT:
+                target = (regs[rs1] + imm) & MASK64
                 self._check_pc(target)
                 mispredicted = resolve_indirect(
                     pc, target, is_return=is_return(inst)
                 )
-                if inst.rd:
-                    regs[inst.rd] = pc + 1
+                if rd:
+                    regs[rd] = pc + 1
                 if is_call(inst):
                     push_return(pc + 1)
                 next_pc = target
@@ -385,15 +381,15 @@ class OoOCore(Core):
                     redirect = complete + mispredict_penalty
                     if redirect > fetch_barrier:
                         fetch_barrier = redirect
-            elif cls is CLS_BARRIER:
+            elif kind == K_BARRIER:
                 complete = slot if slot > last_mem_complete else last_mem_complete
                 if complete > mem_order_barrier:
                     mem_order_barrier = complete
             else:  # NOP
                 complete = slot + 1
 
-            if inst.writes_reg and inst.rd:
-                reg_complete[inst.rd] = complete
+            if writes_reg and rd:
+                reg_complete[rd] = complete
 
             # ---- commit (in order) -----------------------------------
             commit_floor = complete + 1
@@ -416,9 +412,9 @@ class OoOCore(Core):
                 commit_cycles_stepped += 1
             rob_append(commit_time)
             iq_append(slot)
-            if cls is CLS_LOAD:
+            if kind == K_LOAD:
                 lsq_append(commit_time)
-            elif cls is CLS_STORE:
+            elif kind == K_STORE:
                 lsq_append(commit_time)
                 if addr is not None:
                     store_inflight[addr] = (complete, commit_time)

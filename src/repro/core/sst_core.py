@@ -53,6 +53,7 @@ from repro.core.regstate import SpeculativeRegisters
 from repro.core.store_buffer import StoreBuffer
 from repro.core.timing import PerfCounters
 from repro.errors import SimulatorInvariantError
+from repro.isa import blockcache
 from repro.isa.opcodes import Op, OpClass
 from repro.isa.program import Program
 from repro.isa.registers import REG_COUNT, ZERO_REG
@@ -186,6 +187,24 @@ class SSTCore(Core):
         if self.sanitizer is not None:
             self.sanitizer.attach_memory_guard(self.state)
 
+        # ---- block-dispatch fast paths ---------------------------------
+        # Flat decoded rows, shared via the fingerprint-keyed block
+        # cache; the reference decode (program.instructions) stays the
+        # source of truth and the rows are derived from it.
+        self._rows = blockcache.rows_for(program)
+        # mode_cycles key of the current mode, maintained at every mode
+        # transition so accounting skips the per-call dict lookup.
+        self._mode_key = _MODE_KEY[self.mode]
+        # Specialized speculative loop (repro.core.sst_dispatch),
+        # generated per config signature.  The reference loop keeps all
+        # sanitizer hook sites, so sanitized runs always take it.
+        self._spec_loop_fn = None
+        if blockcache.enabled() and self.sanitizer is None:
+            from repro.core.sst_dispatch import compile_spec_loop
+            self._spec_loop_fn = compile_spec_loop(
+                config, self.branch_unit.mispredict_penalty
+            )
+
     # ==================================================================
     # Top level.
     # ==================================================================
@@ -221,7 +240,11 @@ class SSTCore(Core):
                     # outcome == "spec": fall through to the episode
                     # loop; a pending HALT/MEMBAR re-executes in normal
                     # mode after the episode resolves.
-                self._speculative_loop(max_instructions, until_cycle)
+                loop = self._spec_loop_fn
+                if loop is not None:
+                    loop(self, max_instructions, until_cycle)
+                else:
+                    self._speculative_loop(max_instructions, until_cycle)
             return False
         finally:
             self._wall_accum += time.perf_counter() - started
@@ -310,7 +333,7 @@ class SSTCore(Core):
     def _account_mode_cycles(self, new_cycle: int) -> None:
         delta = new_cycle - self._mode_account_cycle
         if delta > 0:
-            self.stats.mode_cycles[_MODE_KEY[self.mode]] += delta
+            self.stats.mode_cycles[self._mode_key] += delta
             self._mode_account_cycle = new_cycle
 
     def _defer_triggering(self, result: AccessResult) -> bool:
@@ -345,9 +368,10 @@ class SSTCore(Core):
 
         # Hot-loop locals (see inorder.py): direct register-file
         # indexing is safe because every write below guards the zero
-        # register, so ``regs[0]`` stays 0.
-        insts = self.program.instructions
-        n_insts = len(insts)
+        # register, so ``regs[0]`` stays 0.  Decode comes from the
+        # block cache's flat rows.
+        rows = self._rows
+        n_insts = len(rows)
         regs = state.regs
         mem_read = state.memory.read
         mem_write = state.memory.write
@@ -356,6 +380,7 @@ class SSTCore(Core):
         lat_alu = latencies.alu
         lat_mul = latencies.mul
         lat_div = latencies.div
+        defer_long_ops = config.defer_long_ops
         defer_on_tlb_miss = config.defer_on_tlb_miss
         defer_on_l1_miss = config.defer_trigger is DeferTrigger.L1_MISS
         L1 = HitLevel.L1
@@ -363,21 +388,79 @@ class SSTCore(Core):
         MERGE_L2 = HitLevel.MERGE_L2
         ACC_LOAD = AccessType.LOAD
         ACC_STORE = AccessType.STORE
+        K_MUL = blockcache.K_MUL
+        K_DIV = blockcache.K_DIV
+        K_LOAD = blockcache.K_LOAD
+        K_STORE = blockcache.K_STORE
+        K_PREFETCH = blockcache.K_PREFETCH
+        K_BRANCH = blockcache.K_BRANCH
+        K_JUMP = blockcache.K_JUMP
+        K_JUMP_INDIRECT = blockcache.K_JUMP_INDIRECT
+        K_BARRIER = blockcache.K_BARRIER
+        K_HALT = blockcache.K_HALT
+        # For the inlined issue-slot bookkeeping (_normal_issue_at and
+        # its accounting, one call pair per instruction otherwise).
+        # ``self._mode_key`` is constant here: _normal_step only runs
+        # in normal mode and returns on any transition.
+        stats = self.stats
+        perf = self.perf
+        width = config.width
+        mode_cycles = stats.mode_cycles
+        mkey = self._mode_key
+        branch_unit = self.branch_unit
+        resolve_cond = branch_unit.resolve_cond
+        resolve_indirect = branch_unit.resolve_indirect
+        push_return = branch_unit.push_return
+        redirect_lat = latencies.alu + branch_unit.mispredict_penalty
+        is_call = self.is_call
+        is_return = self.is_return
+        do_prefetch = hierarchy.prefetch
+
+        # Core-owned scalars mirrored into locals for the loop; written
+        # back at every exit and before any callee that reads them
+        # (_begin_episode, _check_budget/_check_pc raises).
+        cycle = self._cycle
+        slots = self._slots
+        executed = self._executed
+        mode_account = self._mode_account_cycle
+        perf_stepped = self._perf_stepped_cycle
+        drain_busy = self._drain_busy
+        pc = self._pc
 
         while True:
-            if until is not None and self._cycle >= until:
-                self._next_event = self._cycle
+            if until is not None and cycle >= until:
+                self._next_event = cycle
+                self._cycle = cycle
+                self._slots = slots
+                self._executed = executed
+                self._mode_account_cycle = mode_account
+                self._perf_stepped_cycle = perf_stepped
+                self._drain_busy = drain_busy
+                self._pc = pc
                 return "yield"
-            if self._executed >= budget:
-                self._check_budget(self._executed, budget)
-            pc = self._pc
+            if executed >= budget:
+                self._cycle = cycle
+                self._slots = slots
+                self._executed = executed
+                self._mode_account_cycle = mode_account
+                self._perf_stepped_cycle = perf_stepped
+                self._drain_busy = drain_busy
+                self._pc = pc
+                self._check_budget(executed, budget)
             if pc < 0 or pc >= n_insts:
+                self._cycle = cycle
+                self._slots = slots
+                self._executed = executed
+                self._mode_account_cycle = mode_account
+                self._perf_stepped_cycle = perf_stepped
+                self._drain_busy = drain_busy
+                self._pc = pc
                 self._check_pc(pc)
-            inst = insts[pc]
-            cls = inst.op_class
+            (kind, rd, rs1, rs2, imm, target, fn, sources,
+             _writes, uses_imm, inst) = rows[pc]
 
-            earliest = self._cycle
-            for src in inst.sources:
+            earliest = cycle
+            for src in sources:
                 if reg_ready[src] > earliest:
                     earliest = reg_ready[src]
             if until is not None and earliest >= until:
@@ -387,54 +470,99 @@ class SSTCore(Core):
                 # pure clock jump (operand readiness cannot regress), so
                 # advertise it as the fast-forward hint.
                 self._next_event = earliest
-                self._account_mode_cycles(until)
+                delta = until - mode_account
+                if delta > 0:
+                    mode_cycles[mkey] += delta
+                    mode_account = until
                 self._cycle = until
                 self._slots = 0
+                self._executed = executed
+                self._mode_account_cycle = mode_account
+                self._perf_stepped_cycle = perf_stepped
+                self._drain_busy = drain_busy
+                self._pc = pc
                 return "yield"
             if model_ifetch:
-                fetch_ready = ifetch(pc, self._cycle).ready_cycle
+                fetch_ready = ifetch(pc, cycle).ready_cycle
                 if fetch_ready > earliest:
                     earliest = fetch_ready
 
-            if cls is OpClass.HALT:
-                self._executed += 1
-                self.stats.normal_insts += 1
-                if earliest > self._cycle:
-                    self._account_mode_cycles(earliest)
-                    self._cycle = earliest
+            if kind == K_HALT:
+                executed += 1
+                stats.normal_insts += 1
+                if earliest > cycle:
+                    delta = earliest - mode_account
+                    if delta > 0:
+                        mode_cycles[mkey] += delta
+                        mode_account = earliest
+                    cycle = earliest
+                self._cycle = cycle
+                self._slots = slots
+                self._executed = executed
+                self._mode_account_cycle = mode_account
+                self._perf_stepped_cycle = perf_stepped
+                self._drain_busy = drain_busy
+                self._pc = pc
                 return "halt"
 
-            slot = self._normal_issue_at(earliest)
-            self._executed += 1
-            self.stats.normal_insts += 1
+            # Inlined _normal_issue_at(earliest) + its accounting.
+            slot = cycle
+            if earliest > slot:
+                perf.cycles_skipped += earliest - slot
+                perf.fast_forwards += 1
+                delta = earliest - mode_account
+                if delta > 0:
+                    mode_cycles[mkey] += delta
+                    mode_account = earliest
+                cycle = earliest
+                slots = 0
+                slot = earliest
+            if slot != perf_stepped:
+                perf_stepped = slot
+                perf.cycles_stepped += 1
+            slots += 1
+            if slots >= width:
+                nxt = slot + 1
+                delta = nxt - mode_account
+                if delta > 0:
+                    mode_cycles[mkey] += delta
+                    mode_account = nxt
+                cycle = nxt
+                slots = 0
+            executed += 1
+            stats.normal_insts += 1
             next_pc = pc + 1
 
-            if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
-                a = regs[inst.rs1]
-                fn = inst.alu_fn
-                value = (fn(a, inst.imm) if inst.alu_uses_imm
-                         else fn(a, regs[inst.rs2]))
-                if cls is OpClass.ALU:
-                    latency = lat_alu
-                elif cls is OpClass.MUL:
+            if kind <= K_DIV:  # ALU / MUL / DIV
+                a = regs[rs1]
+                value = fn(a, imm) if uses_imm else fn(a, regs[rs2])
+                if kind == K_MUL:
                     latency = lat_mul
-                else:
+                elif kind == K_DIV:
                     latency = lat_div
-                    if (config.defer_long_ops and can_speculate
+                    if (defer_long_ops and can_speculate
                             and self._episode_allowed(pc)):
                         # The committed write is withheld: the
                         # checkpoint must capture pre-trigger state so a
                         # rollback can re-execute the trigger itself.
+                        self._cycle = cycle
+                        self._slots = slots
+                        self._executed = executed
+                        self._mode_account_cycle = mode_account
+                        self._perf_stepped_cycle = perf_stepped
+                        self._drain_busy = drain_busy
                         self._pc = next_pc
                         self._begin_episode(
-                            pc, slot, inst.rd, slot + latency, value
+                            pc, slot, rd, slot + latency, value
                         )
                         return "spec"
-                if inst.rd:
-                    regs[inst.rd] = value
-                    reg_ready[inst.rd] = slot + latency
-            elif cls is OpClass.LOAD:
-                addr = (regs[inst.rs1] + inst.imm) & MASK64
+                else:
+                    latency = lat_alu
+                if rd:
+                    regs[rd] = value
+                    reg_ready[rd] = slot + latency
+            elif kind == K_LOAD:
+                addr = (regs[rs1] + imm) & MASK64
                 value = mem_read(addr)
                 result = data_access(addr, slot, ACC_LOAD, pc=pc)
                 if can_speculate:
@@ -446,70 +574,91 @@ class SSTCore(Core):
                     else:
                         triggering = level is DRAM or level is MERGE_L2
                     if triggering and self._episode_allowed(pc):
+                        self._cycle = cycle
+                        self._slots = slots
+                        self._executed = executed
+                        self._mode_account_cycle = mode_account
+                        self._perf_stepped_cycle = perf_stepped
+                        self._drain_busy = drain_busy
                         self._pc = next_pc
                         self._begin_episode(
-                            pc, slot, inst.rd, result.ready_cycle, value
+                            pc, slot, rd, result.ready_cycle, value
                         )
                         return "spec"
-                if inst.rd:
-                    regs[inst.rd] = value
-                    reg_ready[inst.rd] = result.ready_cycle
-            elif cls is OpClass.STORE:
-                addr = (regs[inst.rs1] + inst.imm) & MASK64
-                mem_write(addr, regs[inst.rs2])
+                if rd:
+                    regs[rd] = value
+                    reg_ready[rd] = result.ready_cycle
+            elif kind == K_STORE:
+                addr = (regs[rs1] + imm) & MASK64
+                mem_write(addr, regs[rs2])
                 result = data_access(addr, slot, ACC_STORE, pc=pc)
-                if result.ready_cycle > self._drain_busy:
-                    self._drain_busy = result.ready_cycle
-            elif cls is OpClass.PREFETCH:
-                addr = (regs[inst.rs1] + inst.imm) & MASK64
-                self.hierarchy.prefetch(addr, slot)
-            elif cls is OpClass.BRANCH:
-                taken = inst.branch_fn(regs[inst.rs1], regs[inst.rs2])
-                mispredicted = self.branch_unit.resolve_cond(pc, taken)
+                if result.ready_cycle > drain_busy:
+                    drain_busy = result.ready_cycle
+            elif kind == K_PREFETCH:
+                addr = (regs[rs1] + imm) & MASK64
+                do_prefetch(addr, slot)
+            elif kind == K_BRANCH:
+                taken = fn(regs[rs1], regs[rs2])
+                mispredicted = resolve_cond(pc, taken)
                 if taken:
-                    next_pc = inst.target
+                    next_pc = target
                 if mispredicted:
-                    redirect = (slot + latencies.alu
-                                + self.branch_unit.mispredict_penalty)
-                    if redirect > self._cycle:
-                        self._account_mode_cycles(redirect)
-                        self._cycle = redirect
-                        self._slots = 0
-            elif cls is OpClass.JUMP:
-                if inst.rd:
-                    regs[inst.rd] = pc + 1
-                    reg_ready[inst.rd] = slot + 1
-                if self.is_call(inst):
-                    self.branch_unit.push_return(pc + 1)
-                next_pc = inst.target
-            elif cls is OpClass.JUMP_INDIRECT:
-                target = (regs[inst.rs1] + inst.imm) & MASK64
-                self._check_pc(target)
-                mispredicted = self.branch_unit.resolve_indirect(
-                    pc, target, is_return=self.is_return(inst)
+                    redirect = slot + redirect_lat
+                    if redirect > cycle:
+                        delta = redirect - mode_account
+                        if delta > 0:
+                            mode_cycles[mkey] += delta
+                            mode_account = redirect
+                        cycle = redirect
+                        slots = 0
+            elif kind == K_JUMP:
+                if rd:
+                    regs[rd] = pc + 1
+                    reg_ready[rd] = slot + 1
+                if is_call(inst):
+                    push_return(pc + 1)
+                next_pc = target
+            elif kind == K_JUMP_INDIRECT:
+                target = (regs[rs1] + imm) & MASK64
+                if target < 0 or target >= n_insts:
+                    self._cycle = cycle
+                    self._slots = slots
+                    self._executed = executed
+                    self._mode_account_cycle = mode_account
+                    self._perf_stepped_cycle = perf_stepped
+                    self._drain_busy = drain_busy
+                    self._pc = pc
+                    self._check_pc(target)
+                mispredicted = resolve_indirect(
+                    pc, target, is_return=is_return(inst)
                 )
-                if inst.rd:
-                    regs[inst.rd] = pc + 1
-                    reg_ready[inst.rd] = slot + 1
-                if self.is_call(inst):
-                    self.branch_unit.push_return(pc + 1)
+                if rd:
+                    regs[rd] = pc + 1
+                    reg_ready[rd] = slot + 1
+                if is_call(inst):
+                    push_return(pc + 1)
                 next_pc = target
                 if mispredicted:
-                    redirect = (slot + latencies.alu
-                                + self.branch_unit.mispredict_penalty)
-                    if redirect > self._cycle:
-                        self._account_mode_cycles(redirect)
-                        self._cycle = redirect
-                        self._slots = 0
-            elif cls is OpClass.BARRIER:
-                drain = max(max(reg_ready), self._drain_busy)
-                if drain > self._cycle:
-                    self._account_mode_cycles(drain)
-                    self._cycle = drain
-                    self._slots = 0
+                    redirect = slot + redirect_lat
+                    if redirect > cycle:
+                        delta = redirect - mode_account
+                        if delta > 0:
+                            mode_cycles[mkey] += delta
+                            mode_account = redirect
+                        cycle = redirect
+                        slots = 0
+            elif kind == K_BARRIER:
+                drain = max(max(reg_ready), drain_busy)
+                if drain > cycle:
+                    delta = drain - mode_account
+                    if delta > 0:
+                        mode_cycles[mkey] += delta
+                        mode_account = drain
+                    cycle = drain
+                    slots = 0
             # NOP: nothing.
 
-            self._pc = next_pc
+            pc = next_pc
 
     # ==================================================================
     # Episode lifecycle.
@@ -566,6 +715,7 @@ class SSTCore(Core):
             self._enter_scout(ScoutCause.SCOUT_ONLY)
         else:
             self.mode = ExecMode.EXECUTE_AHEAD
+            self._mode_key = _MODE_KEY[ExecMode.EXECUTE_AHEAD]
 
     def _min_outstanding(self, cycle: int) -> Optional[int]:
         """Earliest completion among still-pending producers.
@@ -595,6 +745,7 @@ class SSTCore(Core):
         self.stats.scout_sessions[cause] += 1
         self._account_mode_cycles(self._cycle)
         self.mode = ExecMode.SCOUT
+        self._mode_key = _MODE_KEY[ExecMode.SCOUT]
         self._replay_stall = None
         self._commit_stall = None
         earliest = self._min_outstanding(self._cycle)
@@ -622,6 +773,7 @@ class SSTCore(Core):
         self._replay_no_boundary = False
         self._account_mode_cycles(self._cycle)
         self.mode = ExecMode.NORMAL
+        self._mode_key = _MODE_KEY[ExecMode.NORMAL]
         # Back in normal mode: any stale speculative wake hint would
         # overstate how long this core can be fast-forwarded.
         self._next_event = self._cycle
@@ -887,14 +1039,17 @@ class SSTCore(Core):
         if self.mode is ExecMode.SCOUT:
             return
         if issued_replay and issued_ahead:
-            self.mode = ExecMode.SST
+            mode = ExecMode.SST
         elif issued_replay:
-            self.mode = (ExecMode.REPLAY_ONLY if self._replay_no_boundary
-                         else ExecMode.SST)
+            mode = (ExecMode.REPLAY_ONLY if self._replay_no_boundary
+                    else ExecMode.SST)
         elif self._replay_no_boundary:
-            self.mode = ExecMode.REPLAY_ONLY
+            mode = ExecMode.REPLAY_ONLY
         else:
-            self.mode = ExecMode.EXECUTE_AHEAD
+            mode = ExecMode.EXECUTE_AHEAD
+        if mode is not self.mode:
+            self.mode = mode
+            self._mode_key = _MODE_KEY[mode]
 
     # ==================================================================
     # Replay strand.

@@ -13,6 +13,7 @@ import dataclasses
 from typing import List, Optional
 
 from repro.errors import ExecutionError
+from repro.isa import blockcache
 from repro.isa.opcodes import OpClass
 from repro.isa.program import Program
 from repro.isa.registers import REG_COUNT, ZERO_REG
@@ -73,11 +74,43 @@ class Interpreter:
         self.stats = InterpreterStats()
         self.max_steps = max_steps
         self.halted = False
+        self._block_fns = (
+            blockcache.get_block_program(program).block_fns
+            if blockcache.enabled() else None
+        )
 
     def run(self) -> ArchState:
         """Run to HALT; raises :class:`ExecutionError` on runaway."""
+        block_fns = self._block_fns
+        if block_fns is None:
+            while not self.halted:
+                self.step()
+            return self.state
+        # Block dispatch: whole basic blocks execute as one generated
+        # function call.  step() remains the per-instruction reference
+        # and the fallback for mid-block entry PCs (JALR return into a
+        # block body) and for blocks that would overrun max_steps.
+        state = self.state
+        regs = state.regs
+        mem_read = state.memory.read
+        mem_write = state.memory.write
+        stats = self.stats
+        max_steps = self.max_steps
+        get_block = block_fns.get
         while not self.halted:
-            self.step()
+            entry = get_block(state.pc)
+            if entry is None:
+                self.step()
+                continue
+            fn, length = entry
+            if stats.instructions + length > max_steps:
+                self.step()
+                continue
+            next_pc = fn(state, regs, mem_read, mem_write, stats)
+            if next_pc is None:
+                self.halted = True
+                break
+            state.pc = next_pc
         return self.state
 
     def step(self) -> None:

@@ -119,6 +119,10 @@ class _TracingInterpreter(Interpreter):
 
     def __init__(self, program: Program, max_steps: int):
         super().__init__(program, max_steps=max_steps)
+        # Tracing observes every dynamic instruction through step();
+        # force per-instruction dispatch so block execution cannot
+        # route around the snoop.
+        self._block_fns = None
         self.events: List[Event] = []
 
     def step(self) -> None:

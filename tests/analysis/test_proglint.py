@@ -248,3 +248,53 @@ def test_cfg_out_of_range_target_drops_edge():
 def test_data_word_misalignment_rejected_at_construction():
     with pytest.raises(Exception):
         DataWord(addr=3, value=1)
+
+
+# ----------------------------------------------------------------------
+# Fingerprint-keyed lint memoization.
+# ----------------------------------------------------------------------
+
+
+def _lintable(name="lint-cache-sample"):
+    builder = ProgramBuilder(name)
+    builder.movi(1, 5)
+    builder.movi(1, 0)  # dead store keeps the diagnostics list non-empty
+    builder.halt()
+    return builder.build()
+
+
+def test_lint_results_are_memoized_by_fingerprint():
+    from repro.analysis import proglint
+
+    proglint.clear_lint_cache()
+    try:
+        first = lint_program(_lintable())
+        assert _lintable().fingerprint() in proglint._LINT_CACHE
+        # A structurally identical rebuild hits the cache and agrees.
+        second = lint_program(_lintable())
+        assert first == second
+        # Callers get fresh lists — mutating one must not poison the
+        # cache.
+        first.append("garbage")
+        assert lint_program(_lintable()) == second
+        # Same code under a different name is a different fingerprint
+        # (the name is embedded in each diagnostic).
+        other = lint_program(_lintable(name="other"))
+        assert len(proglint._LINT_CACHE) == 2
+        assert all(diag.program == "other" for diag in other)
+    finally:
+        proglint.clear_lint_cache()
+
+
+def test_lint_cache_bound_resets_instead_of_growing():
+    from repro.analysis import proglint
+
+    proglint.clear_lint_cache()
+    try:
+        proglint._LINT_CACHE.update(
+            ("fake%d" % n, ()) for n in range(proglint._LINT_CACHE_MAX)
+        )
+        lint_program(_lintable())
+        assert len(proglint._LINT_CACHE) == 1
+    finally:
+        proglint.clear_lint_cache()

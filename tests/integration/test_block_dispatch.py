@@ -1,0 +1,50 @@
+"""Block dispatch must be invisible: every machine produces bit-identical
+results (cycles, instructions, architectural state) with
+``REPRO_BLOCK_DISPATCH`` on and off, on every workload generator.
+
+This is the differential pin for the decode-once engine — the golden
+and property suites check correctness against the interpreter; this one
+checks the *timing* didn't move either."""
+
+import pytest
+
+from repro.isa import blockcache
+from repro.isa.interpreter import Interpreter
+from repro.sim.runner import simulate
+from repro.workloads import full_suite
+from tests.integration.test_golden_equivalence import machines
+
+MAX_INSTRUCTIONS = 5_000_000
+
+
+def _run(machine, program, monkeypatch, flag):
+    monkeypatch.setenv(blockcache.ENV_FLAG, flag)
+    return simulate(machine, program, verify=True,
+                    max_instructions=MAX_INSTRUCTIONS)
+
+
+@pytest.mark.parametrize("program", full_suite("tiny"),
+                         ids=lambda program: program.name)
+@pytest.mark.parametrize("machine", machines(),
+                         ids=lambda machine: machine.name)
+def test_block_dispatch_bit_identical(machine, program, monkeypatch):
+    with_blocks = _run(machine, program, monkeypatch, "1")
+    without = _run(machine, program, monkeypatch, "0")
+    assert with_blocks.cycles == without.cycles
+    assert with_blocks.instructions == without.instructions
+    assert with_blocks.state.regs == without.state.regs
+    assert with_blocks.state.memory == without.state.memory
+
+
+@pytest.mark.parametrize("program", full_suite("tiny"),
+                         ids=lambda program: program.name)
+def test_interpreter_block_dispatch_bit_identical(program, monkeypatch):
+    monkeypatch.setenv(blockcache.ENV_FLAG, "1")
+    blocked = Interpreter(program)
+    blocked.run()
+    monkeypatch.setenv(blockcache.ENV_FLAG, "0")
+    stepped = Interpreter(program)
+    stepped.run()
+    assert blocked.state.regs == stepped.state.regs
+    assert blocked.state.memory == stepped.state.memory
+    assert blocked.stats == stepped.stats
