@@ -26,11 +26,13 @@ from typing import List, Optional
 
 try:
     from repro.experiments.perf import (
+        DEFAULT_ENSEMBLE_MIN_SPEEDUP,
         DEFAULT_PERF_TOLERANCE,
         REPORT_SCHEMA,
         aggregate,
         load_baseline,
         measure,
+        measure_ensemble,
         perf_entry,
         render,
         run_perf_smoke,
@@ -45,11 +47,13 @@ except ImportError as exc:  # pragma: no cover — setup error, not logic
     ) from None
 
 __all__ = [
+    "DEFAULT_ENSEMBLE_MIN_SPEEDUP",
     "DEFAULT_PERF_TOLERANCE",
     "REPORT_SCHEMA",
     "aggregate",
     "load_baseline",
     "measure",
+    "measure_ensemble",
     "perf_entry",
     "render",
     "run_perf_smoke",

@@ -60,6 +60,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="FRACTION",
                         help="allowed --perf-smoke throughput drop "
                              "(default 0.30 = 30%%)")
+    parser.add_argument("--ensemble-min-speedup", type=float,
+                        default=None, metavar="RATIO",
+                        help="--perf-smoke floor for the N=64 ensemble "
+                             "aggregate speedup over the scalar "
+                             "interpreter (default: the package's "
+                             "loose gate)")
     parser.add_argument("--sanitize", action="store_true",
                         help="run the smoke suite with REPRO_SANITIZE=1 "
                              "(per-event invariant checking; implies "
@@ -70,7 +76,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.perf_smoke:
         import perf_report
 
-        return perf_report.run_perf_smoke(tolerance=args.perf_tolerance)
+        kwargs = {"tolerance": args.perf_tolerance}
+        if args.ensemble_min_speedup is not None:
+            kwargs["ensemble_min_speedup"] = args.ensemble_min_speedup
+        return perf_report.run_perf_smoke(**kwargs)
 
     forwarded = ["experiments", "run"]
     if args.only:

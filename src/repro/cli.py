@@ -28,6 +28,13 @@ and equally runnable as ``python -m repro``.  Subcommands:
     comparison into a regression gate (exit 1 when aggregate
     insts/host-second drops by more than ``--tolerance``).
 
+``repro ensemble bench [--lanes N] [--scale S] [--workloads ...]
+[--backend numpy|python] [--json]``
+    Measure the vectorized lockstep-ensemble backend
+    (:mod:`repro.sim.ensemble`) against the scalar golden interpreter
+    over seed-varied lane batches of the workload suite, reporting
+    per-workload and aggregate insts/host-second and speedup.
+
 ``repro cache stats|fsck|clear [--cache-dir DIR]``
     Maintain the content-addressed simulation result cache
     (``benchmarks/.simcache/`` / ``REPRO_CACHE_DIR``): show on-disk
@@ -294,6 +301,51 @@ def _cmd_perf_report(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# ensemble bench
+# ---------------------------------------------------------------------------
+
+
+def _cmd_ensemble_bench(args: argparse.Namespace) -> int:
+    # Deferred import: pulls in the workload suite + (optionally) numpy.
+    from repro.experiments import perf
+    from repro.sim import ensemble
+
+    if args.backend == ensemble.BACKEND_NUMPY and not (
+            ensemble.numpy_available()):
+        print("error: the numpy ensemble backend requires numpy "
+              "(install the 'ensemble' extra: pip install "
+              "'repro[ensemble]')", file=sys.stderr)
+        return 2
+    section = perf.measure_ensemble(
+        lanes=args.lanes, scale=args.scale,
+        workloads=args.workloads or None, backend=args.backend,
+    )
+    if args.json:
+        print(json.dumps(section, indent=2, sort_keys=True))
+        return 0 if section.get("available") else 2
+    if not section.get("available"):
+        print(f"ensemble bench unavailable: "
+              f"{section.get('reason', 'unknown')}", file=sys.stderr)
+        return 2
+    print(f"ensemble bench: N={section['lanes']} lanes, "
+          f"{section['scale']} scale, {section['backend']} backend")
+    print(f"{'workload':<18s} {'insts':>10s} {'scalar s':>9s} "
+          f"{'ensemble s':>11s} {'speedup':>8s}")
+    for name, row in section["workloads"].items():
+        speedup = row["speedup"]
+        print(f"{name:<18s} {row['instructions']:>10d} "
+              f"{row['scalar_wall_seconds']:>9.3f} "
+              f"{row['ensemble_wall_seconds']:>11.3f} "
+              f"{speedup if speedup is None else format(speedup, '.2f'):>8}")
+    agg = section["aggregate"]
+    print(f"{'AGGREGATE':<18s} {agg['instructions']:>10d} "
+          f"{'':>9s} {'':>11s} {agg['speedup']:>8.2f}")
+    print(f"scalar   {agg['scalar_insts_per_host_second']} insts/host-sec")
+    print(f"ensemble {agg['ensemble_insts_per_host_second']} insts/host-sec")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # cache stats / fsck / clear
 # ---------------------------------------------------------------------------
 
@@ -440,6 +492,32 @@ def build_parser() -> argparse.ArgumentParser:
                                       "for --compare-baseline "
                                       "(default: 0.30)")
     cmd_perf_report.set_defaults(func=_cmd_perf_report)
+
+    ensemble = top.add_parser(
+        "ensemble", help="vectorized lockstep-ensemble tools")
+    ensemble_sub = ensemble.add_subparsers(dest="subcommand",
+                                           required=True)
+
+    cmd_ens_bench = ensemble_sub.add_parser(
+        "bench", help="measure ensemble-vs-scalar throughput over "
+                      "seed-varied lane batches of the workload suite")
+    cmd_ens_bench.add_argument("--lanes", type=int, default=64,
+                               help="ensemble width N (default: 64)")
+    cmd_ens_bench.add_argument("--scale", default="tiny",
+                               choices=("tiny", "small", "bench"),
+                               help="workload suite scale "
+                                    "(default: tiny)")
+    cmd_ens_bench.add_argument("--workloads", nargs="*", default=None,
+                               metavar="NAME",
+                               help="subset of suite workload names "
+                                    "(default: all seven)")
+    cmd_ens_bench.add_argument("--backend", default=None,
+                               choices=("numpy", "python"),
+                               help="force a backend (default: "
+                                    "auto-select)")
+    cmd_ens_bench.add_argument("--json", action="store_true",
+                               help="machine-readable output")
+    cmd_ens_bench.set_defaults(func=_cmd_ensemble_bench)
 
     cache = top.add_parser(
         "cache", help="simulation result-cache maintenance")

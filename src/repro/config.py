@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import os
 from typing import Optional
 
 from repro.errors import ConfigError
@@ -404,3 +405,55 @@ def ooo_machine(hierarchy: HierarchyConfig = HierarchyConfig(),
                       iq_size=iq, lsq_size=lsq),
         name=f"ooo-{width}w-rob{rob_size}",
     )
+
+
+# ---------------------------------------------------------------------------
+# Runtime environment knobs.
+#
+# The simulator reads a small set of REPRO_* environment variables; the
+# knob constants and parsers for the vectorized ensemble backend live
+# here so there is one documented home for them.  The full set:
+#
+#   REPRO_JOBS              worker-pool size for ParallelRunner
+#   REPRO_CACHE             "0" disables the result cache
+#   REPRO_CACHE_DIR         result-cache directory override
+#   REPRO_CACHE_MAX_BYTES   LRU size cap for the result cache
+#   REPRO_BLOCK_DISPATCH    "0" restores per-instruction dispatch
+#   REPRO_ENSEMBLE          "0" disables the vectorized ensemble
+#                           backend (falls back to the scalar
+#                           per-lane interpreter loop)
+#   REPRO_ENSEMBLE_LANES    lane-chunk width for run_ensemble
+#                           (default 64)
+#   REPRO_SANITIZE          "1" enables the invariant sanitizer
+#   REPRO_BENCH_SMOKE       "1" shrinks benchmarks to smoke scale
+#   REPRO_BENCH_MAX_INSTRUCTIONS   per-run instruction budget cap
+#   REPRO_TASK_TIMEOUT / REPRO_TASK_RETRIES   parallel-engine limits
+#   REPRO_FAULT_INJECT      deterministic fault-injection spec
+# ---------------------------------------------------------------------------
+
+ENSEMBLE_ENV = "REPRO_ENSEMBLE"
+ENSEMBLE_LANES_ENV = "REPRO_ENSEMBLE_LANES"
+DEFAULT_ENSEMBLE_LANES = 64
+
+
+def ensemble_enabled() -> bool:
+    """True unless ``REPRO_ENSEMBLE=0`` — the ensemble kill switch,
+    mirroring ``REPRO_BLOCK_DISPATCH``.  When off, ensemble entry
+    points run every lane through the scalar golden interpreter."""
+    return os.environ.get(ENSEMBLE_ENV, "1") != "0"
+
+
+def ensemble_lanes() -> int:
+    """Lane-chunk width for ensemble execution (``REPRO_ENSEMBLE_LANES``,
+    default 64): cold lanes are vectorized in chunks of this many."""
+    raw = os.environ.get(ENSEMBLE_LANES_ENV)
+    if raw is None:
+        return DEFAULT_ENSEMBLE_LANES
+    try:
+        lanes = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{ENSEMBLE_LANES_ENV} must be an integer, got {raw!r}"
+        ) from None
+    _require(lanes >= 1, f"{ENSEMBLE_LANES_ENV} must be >= 1, got {lanes}")
+    return lanes

@@ -42,17 +42,26 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.cmp import Multicore
-from repro.config import SSTConfig
+from repro.config import SSTConfig, ensemble_enabled
+from repro.errors import ReproError
 from repro.experiments.bench_env import BenchEnv
 from repro.experiments.results import default_results_dir, perf_baseline_path
+from repro.isa.interpreter import Interpreter
 from repro.sim.machine import Machine
 from repro.workloads import hash_join
+from repro.workloads.suite import WORKLOAD_FACTORIES, suite_params
 
-REPORT_SCHEMA = 1
+REPORT_SCHEMA = 2
 
 # Default regression gate for run_perf_smoke (CLI flag --perf-tolerance
 # in run_all.py overrides it per run).
 DEFAULT_PERF_TOLERANCE = 0.30
+
+# Minimum aggregate speedup of the N=64 numpy ensemble over the scalar
+# interpreter on the tiny suite.  Measured ~2.8x on the reference host;
+# the gate is deliberately loose so slow/shared CI runners do not flap,
+# while still catching a vectorization regression back to ~1x.
+DEFAULT_ENSEMBLE_MIN_SPEEDUP = 1.5
 
 
 # ---------------------------------------------------------------------------
@@ -254,6 +263,113 @@ def measure(tag: str = "report") -> Dict[str, Any]:
         },
         "entries": entries,
         "aggregate": single_aggregate,
+        "ensemble": measure_ensemble(),
+    }
+
+
+def measure_ensemble(lanes: int = 64, scale: str = "tiny",
+                     workloads: Optional[List[str]] = None,
+                     backend: Optional[str] = None) -> Dict[str, Any]:
+    """Ensemble-vs-scalar throughput over seed-varied lane batches.
+
+    For each workload in the ``scale`` suite this builds ``lanes``
+    seed-varied instances, runs them one at a time through the scalar
+    golden interpreter, then once through the numpy
+    :class:`repro.sim.ensemble.EnsembleInterpreter`, and reports both
+    walls plus the per-workload and aggregate speedup (sum of scalar
+    wall over sum of ensemble wall, matching the module's
+    wall-time-weighted rollup semantics).  Returns
+    ``{"available": False, "reason": ...}`` when numpy is missing or
+    ``REPRO_ENSEMBLE=0``, so snapshots stay writable everywhere.
+    ``backend`` forces one (``"python"`` measures the pure-Python lane
+    loop, which is expected near 1x); the default requires the numpy
+    backend since that is the number the smoke gate tracks.
+    """
+    from repro.sim import ensemble
+
+    base = {"lanes": lanes, "scale": scale}
+    if backend is None:
+        if not ensemble.numpy_available():
+            return {"available": False, "reason": "numpy not installed",
+                    **base}
+        if not ensemble_enabled():
+            return {"available": False, "reason": "REPRO_ENSEMBLE=0",
+                    **base}
+        backend = ensemble.BACKEND_NUMPY
+    else:
+        try:
+            backend = ensemble.resolve_backend(backend)
+        except ensemble.EnsembleDependencyError as exc:
+            return {"available": False, "reason": str(exc), **base}
+
+    params = suite_params(scale)
+    if workloads is not None:
+        params = {name: params[name] for name in workloads}
+
+    rows: Dict[str, Any] = {}
+    total_insts = 0
+    total_scalar = 0.0
+    total_vector = 0.0
+    for name, kwargs in params.items():
+        programs = [
+            WORKLOAD_FACTORIES[name](
+                **kwargs, seed=100 + lane, name=f"{name}@lane{lane}"
+            )
+            for lane in range(lanes)
+        ]
+        started = time.perf_counter()
+        insts = 0
+        for program in programs:
+            interp = Interpreter(program)
+            interp.run()
+            insts += interp.stats.instructions
+        scalar_wall = time.perf_counter() - started
+
+        started = time.perf_counter()
+        outcomes = ensemble.EnsembleInterpreter(
+            programs, backend=backend
+        ).run()
+        vector_wall = time.perf_counter() - started
+        vector_insts = sum(o.stats.instructions for o in outcomes)
+        if vector_insts != insts:  # pragma: no cover - differential guard
+            raise ReproError(
+                f"ensemble ran {vector_insts} instructions for {name} "
+                f"where the scalar interpreter ran {insts}"
+            )
+
+        total_insts += insts
+        total_scalar += scalar_wall
+        total_vector += vector_wall
+        rows[name] = {
+            "instructions": insts,
+            "scalar_wall_seconds": round(scalar_wall, 4),
+            "ensemble_wall_seconds": round(vector_wall, 4),
+            "speedup": (
+                round(scalar_wall / vector_wall, 4) if vector_wall > 0
+                else None
+            ),
+        }
+
+    return {
+        "available": True,
+        "backend": backend,
+        **base,
+        "workloads": rows,
+        "aggregate": {
+            "instructions": total_insts,
+            "scalar_insts_per_host_second": (
+                round(total_insts / total_scalar) if total_scalar > 0
+                else None
+            ),
+            "ensemble_insts_per_host_second": (
+                round(total_insts / total_vector) if total_vector > 0
+                else None
+            ),
+            "speedup": (
+                round(total_scalar / total_vector, 4) if total_vector > 0
+                else None
+            ),
+        },
     }
 
 
@@ -293,6 +409,20 @@ def render(payload: Dict[str, Any]) -> str:
             f"speedup vs baseline [{speedup.get('baseline_tag')}]: "
             f"{speedup['aggregate']:.2f}x aggregate"
         )
+    ens = payload.get("ensemble")
+    if isinstance(ens, dict):
+        if ens.get("available"):
+            agg = ens["aggregate"]
+            rate = agg["ensemble_insts_per_host_second"]
+            lines.append(
+                f"ensemble N={ens['lanes']} ({ens['scale']}): "
+                f"{rate if rate is not None else '-'} insts/host-sec, "
+                f"{agg['speedup']:.2f}x vs scalar"
+            )
+        else:
+            lines.append(
+                f"ensemble: unavailable ({ens.get('reason', 'unknown')})"
+            )
     return "\n".join(lines)
 
 
@@ -302,7 +432,9 @@ def render(payload: Dict[str, Any]) -> str:
 
 
 def run_perf_smoke(tolerance: float = DEFAULT_PERF_TOLERANCE,
-                   baseline_path: Optional[pathlib.Path] = None) -> int:
+                   baseline_path: Optional[pathlib.Path] = None,
+                   ensemble_min_speedup: float = DEFAULT_ENSEMBLE_MIN_SPEEDUP
+                   ) -> int:
     """Measure simulator throughput (tiny scale) against the committed
     ``BENCH_smoke.json`` baseline.
 
@@ -312,6 +444,12 @@ def run_perf_smoke(tolerance: float = DEFAULT_PERF_TOLERANCE,
     snapshot embeds ``speedup_vs_baseline`` against them, and the run
     fails if aggregate insts/host-second dropped by more than
     ``tolerance`` (a fraction: 0.30 fails on a >30% regression).
+
+    When the snapshot carries an available ensemble section, its
+    aggregate ensemble-vs-scalar speedup is additionally gated against
+    ``ensemble_min_speedup`` (a loose absolute floor, not a baseline
+    ratio — the scalar reference is re-measured in the same run, which
+    cancels out host speed).
     """
     os.environ["REPRO_BENCH_SMOKE"] = "1"
     if baseline_path is None:
@@ -326,13 +464,23 @@ def run_perf_smoke(tolerance: float = DEFAULT_PERF_TOLERANCE,
     write_report(payload, baseline_path)
     print(f"wrote {baseline_path}")
 
+    status = 0
+    ens = payload.get("ensemble") or {}
+    if ens.get("available"):
+        ens_speedup = ens["aggregate"]["speedup"]
+        if ens_speedup is not None and ens_speedup < ensemble_min_speedup:
+            print(f"FAIL: ensemble aggregate speedup {ens_speedup:.2f}x "
+                  f"is below the {ensemble_min_speedup:.2f}x floor",
+                  file=sys.stderr)
+            status = 1
+
     if baseline is None:
         print("no committed baseline found; snapshot recorded, "
               "nothing to compare")
-        return 0
+        return status
     if speedup is None or speedup["aggregate"] is None:
         print("committed baseline is unreadable; snapshot recorded")
-        return 0
+        return status
     ratio = speedup["aggregate"]
     old = baseline["aggregate"]["total"]["insts_per_host_second"]
     new = payload["aggregate"]["total"]["insts_per_host_second"]
@@ -343,4 +491,4 @@ def run_perf_smoke(tolerance: float = DEFAULT_PERF_TOLERANCE,
               f"{tolerance:.0%} vs the committed baseline",
               file=sys.stderr)
         return 1
-    return 0
+    return status

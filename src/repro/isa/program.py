@@ -49,6 +49,7 @@ class Program:
         self.data: List[DataWord] = list(data or [])
         self.name = name
         self._fingerprint: Optional[str] = None
+        self._shape_fingerprint: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -82,6 +83,30 @@ class Program:
                 hasher.update(f"d:{word.addr}:{word.value}\n".encode())
             self._fingerprint = hasher.hexdigest()
         return self._fingerprint
+
+    def shape_fingerprint(self) -> str:
+        """Code-*shape* identity: a SHA-256 over the instruction stream
+        with immediates, data image and name excluded.
+
+        Two programs share a shape fingerprint exactly when they have
+        the same opcodes, register operands and branch targets at every
+        PC — i.e. the same control-flow graph and the same dataflow
+        wiring — and differ only in immediate values and initial data.
+        That is the lane-compatibility contract of the vectorized
+        ensemble backend (:mod:`repro.sim.ensemble`): parameter-varied
+        instances of one workload generator share a shape, so one set of
+        batched block kernels can execute all of them in lockstep.
+        Memoized like :meth:`fingerprint`.
+        """
+        if self._shape_fingerprint is None:
+            hasher = hashlib.sha256()
+            for inst in self.instructions:
+                hasher.update(
+                    f"s:{inst.op.value}:{inst.rd}:{inst.rs1}:{inst.rs2}:"
+                    f"{inst.target}\n".encode()
+                )
+            self._shape_fingerprint = hasher.hexdigest()
+        return self._shape_fingerprint
 
     def label_of(self, index: int) -> Optional[str]:
         """Reverse label lookup (first match), for disassembly."""

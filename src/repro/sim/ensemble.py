@@ -1,0 +1,1357 @@
+"""Vectorized ensemble backend: lockstep batched simulation over numpy.
+
+The ROCK paper's throughput story is about serving many independent
+request streams at once; the reproduction's batch-serving analogue is an
+*ensemble* — N parameter-varied instances of one workload generator
+(same code shape, different seeds/immediates/data images) executed
+simultaneously.  :class:`EnsembleInterpreter` steps all lanes in
+lockstep over structure-of-arrays state:
+
+* an ``(N, REG_COUNT)`` uint64 register-file matrix,
+* an ``(N, pages * page_words)`` uint64 paged data-image window — only
+  32 KB pages the ensemble actually touches are materialized, with a
+  page-table gather translating addresses and a poison slot catching
+  accesses outside the mapped set (plus a per-lane overflow dict for
+  the sparse tail the window refuses),
+* per-lane PC, step-count and halted vectors.
+
+Execution is whole-basic-block: for each entry PC a vectorized kernel
+is generated (``exec``, the same idiom as
+:mod:`repro.isa.blockcache`) that applies every instruction of the
+block to all live lanes at once — ALU ops become numpy ufunc
+expressions over the lane axis, loads/stores become gathers/scatters
+with vectorized alignment masks, and the block terminator returns the
+per-lane next PC.  Divergent branches partition lanes into *cohorts*
+(an ``{entry_pc: lane-index-array}`` worklist); cohorts that arrive at
+the same PC are merged, so lanes reconverge naturally at block
+boundaries.  Lanes are independent, so scheduling order cannot affect
+results — only batching efficiency.  Blocks whose terminator branches
+back to their own entry (the inner loops that dominate every workload)
+compile to *looping* kernels: registers stay resident in locals across
+iterations and the kernel only returns to the scheduler on divergence,
+step-budget pressure, or a fault.
+
+Bit-identity with the scalar golden interpreter is the contract: every
+lane's final registers, memory, PC and
+:class:`~repro.isa.interpreter.InterpreterStats` equal a scalar
+``Interpreter(program).run()`` of that lane's program — including
+faulting lanes.  Three mechanisms keep the edge cases exact rather
+than approximately right:
+
+* value-sensitive ops whose scalar semantics are not reproducible with
+  numpy integer arithmetic (DIV/REM round through floats in
+  :mod:`repro.isa.semantics`) call the scalar handler per lane;
+* faults (misaligned accesses, out-of-range indirect jumps) are
+  *deferred*: kernels accumulate a per-lane fault mask, suppress the
+  faulting lanes' stores, and at the end of the block rewind those
+  lanes to their block-entry state and *peel* them — the SoA state is
+  transplanted into a real scalar
+  :class:`~repro.isa.interpreter.Interpreter` which replays the block
+  (idempotent by construction: the replayed prefix recomputes exactly
+  the values the vector engine computed) and raises the exact scalar
+  error at the exact instruction;
+* lanes whose next block would cross the step budget, or whose next PC
+  falls outside the program, are peeled the same way, reproducing the
+  scalar model's error ordering (budget before PC bounds) and messages
+  by construction.
+
+numpy is optional (``pip install repro[ensemble]``).  Without it — or
+under the ``REPRO_ENSEMBLE=0`` kill switch — every entry point falls
+back to a pure-Python lane loop (one scalar interpreter per lane) with
+identical semantics.  ``REPRO_ENSEMBLE_LANES`` sets the lane-chunk
+width :func:`run_ensemble` vectorizes at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import multiprocessing
+import time
+from bisect import bisect_right
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.core_base import CoreResult
+from repro.config import ensemble_enabled, ensemble_lanes
+from repro.errors import ExecutionError, ReproError
+from repro.isa import blockcache
+from repro.isa.blockcache import (
+    K_BARRIER,
+    K_BRANCH,
+    K_HALT,
+    K_JUMP,
+    K_JUMP_INDIRECT,
+    K_LOAD,
+    K_NOP,
+    K_PREFETCH,
+    K_STORE,
+    R_FN,
+    R_INST,
+    R_KIND,
+    R_RD,
+    R_RS1,
+    R_RS2,
+    R_SOURCES,
+    R_TARGET,
+    R_WRITES,
+)
+from repro.isa.interpreter import (
+    DEFAULT_MAX_STEPS,
+    ArchState,
+    Interpreter,
+    InterpreterStats,
+)
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.isa.registers import REG_COUNT
+from repro.isa.semantics import MASK64, to_signed
+from repro.memory.sparse_memory import SparseMemory
+from repro.sim.cache import ResultCache, result_key
+
+try:  # numpy is the optional `ensemble` extra, not a hard dependency.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    _np = None  # type: ignore[assignment]
+
+BACKEND_NUMPY = "numpy"
+BACKEND_PYTHON = "python"
+
+# The dense backing store is *paged*: the 64-bit address space is cut
+# into 32 KiB pages and only anchored pages (initial image, plus pages
+# reachable from address-like MOVI immediates) get a dense column range
+# in M.  A small translation table maps page number -> slot base, so
+# far-apart regions (result word, heap, log streams) stay dense without
+# materializing the dead gaps between them.
+_PAGE_WORDS = 4096              # words per dense page
+_PAGE_SHIFT = 15                # byte address -> page number
+_MOVI_HEADROOM_PAGES = 8        # growth room after each MOVI anchor
+_SLOT_POISON = 1 << 60          # translation entry for unmapped pages
+# Total dense-matrix ceiling: pages * lanes * page bytes is capped here
+# and everything else spills to the per-lane overflow dicts.
+_MAX_WINDOW_BYTES = 256 * 1024 * 1024
+
+
+class EnsembleError(ReproError):
+    """Invalid ensemble construction or failed ensemble lanes."""
+
+
+class EnsembleDependencyError(EnsembleError, ImportError):
+    """The numpy backend was requested but numpy is not installed."""
+
+
+class EnsembleTaskError(EnsembleError):
+    """Raised by :func:`run_ensemble` when lanes fail under
+    ``on_error="raise"``."""
+
+
+def numpy_available() -> bool:
+    """True when the numpy backend can be used in this process."""
+    return _np is not None
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Pick the execution backend.
+
+    ``None`` selects numpy when it is installed and ``REPRO_ENSEMBLE``
+    is not ``0``, else the pure-Python lane loop.  An explicit
+    ``"numpy"`` request with numpy missing raises
+    :class:`EnsembleDependencyError` (an ``ImportError``) with install
+    guidance; an explicit request is honoured even under the kill
+    switch — the switch governs default selection.
+    """
+    if backend is None:
+        if ensemble_enabled() and numpy_available():
+            return BACKEND_NUMPY
+        return BACKEND_PYTHON
+    if backend == BACKEND_NUMPY:
+        if _np is None:
+            raise EnsembleDependencyError(
+                "the numpy ensemble backend requires numpy, which is not "
+                "installed; install the extra with `pip install "
+                "'repro[ensemble]'`, or use backend='python' for the "
+                "pure-Python lane loop"
+            )
+        return BACKEND_NUMPY
+    if backend == BACKEND_PYTHON:
+        return BACKEND_PYTHON
+    raise EnsembleError(
+        f"unknown ensemble backend {backend!r}; expected "
+        f"{BACKEND_NUMPY!r} or {BACKEND_PYTHON!r}"
+    )
+
+
+def _sparse_from_words(words: Dict[int, int]) -> SparseMemory:
+    memory = SparseMemory()
+    memory._words = words
+    return memory
+
+
+class _LazyLaneMemory(SparseMemory):
+    """A :class:`SparseMemory` whose word dict materializes from the
+    engine's dense row on first access.
+
+    Rebuilding a Python dict from a big final image is the single most
+    expensive part of collecting an ensemble, and throughput consumers
+    (benchmarks, batch serving) read stats and a few result words, not
+    full memory dumps — so the conversion is deferred until something
+    actually touches the words.  The backing row is never mutated
+    again once its lane leaves the vector engine, which makes the
+    deferral safe.  Pickling (worker processes, result caches)
+    materializes eagerly via ``__reduce__``.
+    """
+
+    def __init__(self, fill: Callable[[], Dict[int, int]]):
+        super().__init__()
+        self._fill: Optional[Callable[[], Dict[int, int]]] = fill
+
+    @property
+    def _words(self) -> Dict[int, int]:
+        fill = self._fill
+        if fill is not None:
+            self._fill = None
+            self._cached_words = fill()
+        return self._cached_words
+
+    @_words.setter
+    def _words(self, value: Dict[int, int]) -> None:
+        self._fill = None
+        self._cached_words = value
+
+    def __reduce__(self):
+        return (_sparse_from_words, (dict(self._words),))
+
+
+@dataclasses.dataclass
+class LaneOutcome:
+    """Final architectural state of one ensemble lane.
+
+    ``error`` is ``None`` on clean HALT, else the scalar interpreter's
+    error rendered as ``"ExceptionType: message"`` (identical to what a
+    scalar run of the same lane program would raise).
+    """
+
+    state: ArchState
+    stats: InterpreterStats
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _check_lane_contract(programs: Sequence[Program]) -> None:
+    if not programs:
+        raise EnsembleError("ensemble needs at least one lane program")
+    for program in programs:
+        program.validate()
+    shape = programs[0].shape_fingerprint()
+    for lane, program in enumerate(programs):
+        if program.shape_fingerprint() != shape:
+            raise EnsembleError(
+                f"lane {lane} ({program.name!r}) does not share the code "
+                f"shape of lane 0 ({programs[0].name!r}); ensemble lanes "
+                "must differ only in immediates and data "
+                "(Program.shape_fingerprint)"
+            )
+
+
+def _scalar_lane(program: Program, max_steps: int) -> LaneOutcome:
+    """Reference path: one scalar golden-interpreter run."""
+    interp = Interpreter(program, max_steps=max_steps)
+    error: Optional[str] = None
+    try:
+        interp.run()
+    except ExecutionError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    return LaneOutcome(state=interp.state, stats=interp.stats, error=error)
+
+
+class EnsembleInterpreter:
+    """Execute N shape-compatible lane programs in lockstep.
+
+    ``backend=None`` auto-selects (numpy when available and enabled,
+    else pure Python); ``run()`` returns one :class:`LaneOutcome` per
+    lane, in lane order, bit-identical to scalar runs.
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[Program],
+        max_steps: int = DEFAULT_MAX_STEPS,
+        backend: Optional[str] = None,
+    ):
+        self.programs: List[Program] = list(programs)
+        _check_lane_contract(self.programs)
+        self.max_steps = max_steps
+        self.backend = resolve_backend(backend)
+
+    def run(self) -> List[LaneOutcome]:
+        if self.backend == BACKEND_NUMPY:
+            return _VectorEngine(self.programs, self.max_steps).run()
+        return [_scalar_lane(p, self.max_steps) for p in self.programs]
+
+
+# ---------------------------------------------------------------------------
+# The numpy engine.
+# ---------------------------------------------------------------------------
+
+_ALU_SYM = {
+    Op.ADD: "+", Op.ADDI: "+", Op.SUB: "-", Op.MUL: "*",
+    Op.AND: "&", Op.ANDI: "&", Op.OR: "|", Op.ORI: "|",
+    Op.XOR: "^", Op.XORI: "^",
+}
+_BRANCH_COND = {
+    Op.BEQ: "{a} == {b}",
+    Op.BNE: "{a} != {b}",
+    Op.BLTU: "{a} < {b}",
+    Op.BGEU: "{a} >= {b}",
+    Op.BLT: "{a}.view(_I8) < {b}.view(_I8)",
+    Op.BGE: "{a}.view(_I8) >= {b}.view(_I8)",
+}
+
+_SKIP_KINDS = (K_PREFETCH, K_BARRIER, K_NOP)
+
+
+@dataclasses.dataclass
+class _Kernel:
+    """One compiled batched kernel plus its static stat weights.
+
+    ``execs`` counts, per lane, how many times this kernel's body ran
+    (iterations, for looping kernels); loads/stores/branches/jumps per
+    lane are derived as ``weight * execs`` at collection time instead
+    of being updated on every dispatch.
+    """
+
+    length: int
+    loads: int
+    stores: int
+    branches: int
+    jumps: int
+    is_loop: bool
+    fn: Callable[..., Any]
+    execs: Any
+
+
+class _VectorEngine:
+    """SoA state + generated batched block kernels for one ensemble."""
+
+    def __init__(self, programs: List[Program], max_steps: int):
+        np = _np
+        self.programs = programs
+        self.max_steps = max_steps
+        base = programs[0]
+        self.n_lanes = len(programs)
+        self.n_insts = len(base)
+        block_program = blockcache.get_block_program(base)
+        self.rows = block_program.rows
+        self.blocks = block_program.blocks
+        self._block_starts = [start for start, _ in self.blocks]
+        self._block_end_of = dict(self.blocks)
+
+        self.R = np.zeros((self.n_lanes, REG_COUNT), dtype=np.uint64)
+        self._init_memory()
+        self.s_insts = np.zeros(self.n_lanes, dtype=np.int64)
+        self.s_taken = np.zeros(self.n_lanes, dtype=np.int64)
+        self.final_pc = np.zeros(self.n_lanes, dtype=np.int64)
+        self.halted = np.zeros(self.n_lanes, dtype=bool)
+        self.done: List[Optional[LaneOutcome]] = [None] * self.n_lanes
+
+        self._imm_cache: Dict[int, Tuple[Optional[int], Any]] = {}
+        self._kernels: Dict[int, _Kernel] = {}
+        self._ns: Dict[str, Any] = {
+            "_np": np,
+            "_U8": np.uint64,
+            "_I8": np.int64,
+            "_IP": np.intp,
+            "_63": np.uint64(63),
+            "_7": np.uint64(7),
+            "_3": np.uint64(3),
+            "_53": np.uint64(53),
+            "_NN": np.uint64(self.n_insts),
+            "_T": self.T,
+            "_PS": np.uint64(_PAGE_SHIFT),
+            "_PM": np.uint64(_PAGE_WORDS - 1),
+        }
+
+    # -- memory layout ------------------------------------------------
+
+    def _init_memory(self) -> None:
+        np = _np
+        image_pages = {
+            word.addr >> _PAGE_SHIFT
+            for program in self.programs
+            for word in program.data
+        }
+        # Anchor pages reachable from address-like MOVI immediates too:
+        # workloads materialize result/log-region base pointers as MOVI
+        # constants outside the initial data image, and stores through
+        # them must stay on the dense fast path.  Non-address constants
+        # that slip through the filter cost at most one false page each
+        # (and small ones coalesce into page zero).
+        movi_pages: Set[int] = set()
+        for inst in self.programs[0].instructions:
+            if inst.op is Op.MOVI:
+                imm = inst.imm
+                if (1 << 12) <= imm < (1 << 48) and imm % 8 == 0:
+                    movi_pages.add(imm >> _PAGE_SHIFT)
+        budget = max(
+            1, _MAX_WINDOW_BYTES // (8 * self.n_lanes * _PAGE_WORDS)
+        )
+        # Priority order under the budget: the image itself, one page of
+        # headroom after each image page (heap-adjacent growth), then
+        # MOVI anchors.  Anchors above the image top get extra headroom
+        # pages so append-style streams (logs) can grow past their base
+        # pointer; anchors below it (result words, small tables) do not
+        # grow and stay single-page.
+        image_top = max(image_pages) if image_pages else -1
+        selected: Set[int] = set()
+        tiers = [
+            sorted(image_pages),
+            sorted(page + 1 for page in image_pages),
+            sorted(movi_pages),
+            sorted(
+                page + extra
+                for page in movi_pages
+                if page > image_top
+                for extra in range(1, _MOVI_HEADROOM_PAGES + 1)
+            ),
+        ]
+        for tier in tiers:
+            for page in tier:
+                if len(selected) >= budget:
+                    break
+                selected.add(page)
+        if not selected:
+            selected.add(0)
+        pages = sorted(selected)
+        self._pages = np.array(pages, dtype=np.int64)  # slot -> page
+        self.T = np.full(
+            pages[-1] + 1, _SLOT_POISON, dtype=np.uint64
+        )
+        for slot, page in enumerate(pages):
+            self.T[page] = slot * _PAGE_WORDS
+        self.M = np.zeros(
+            (self.n_lanes, len(pages) * _PAGE_WORDS), dtype=np.uint64
+        )
+        self.ovf: List[Dict[int, int]] = [{} for _ in range(self.n_lanes)]
+        for lane, program in enumerate(self.programs):
+            data = program.data
+            if not data:
+                continue
+            count = len(data)
+            addrs = np.fromiter(
+                (word.addr for word in data), dtype=np.uint64,
+                count=count,
+            )
+            values = np.fromiter(
+                (word.value & MASK64 for word in data), dtype=np.uint64,
+                count=count,
+            )
+            w2, dense, _ = self._addr_state(addrs)
+            # Duplicate addresses must resolve last-writer-wins like
+            # the scalar image build; numpy fancy assignment leaves
+            # that unspecified.  Strictly increasing slots (the
+            # generator norm) scatter directly; anything else goes
+            # through a stable sort so later words win ties.
+            if dense.all():
+                if count == 1 or bool((np.diff(w2) > 0).all()):
+                    self.M[lane, w2] = values
+                else:
+                    order = np.argsort(w2, kind="stable")
+                    self.M[lane, w2[order]] = values[order]
+                continue
+            for j, word in enumerate(data):
+                if dense[j]:
+                    self.M[lane, w2[j]] = values[j]
+                else:
+                    self.ovf[lane][word.addr] = int(values[j])
+
+    def _addr_state(self, addrs: Any) -> Tuple[Any, Any, Any]:
+        """Map a uint64 byte-address vector through the page table:
+        ``(dense_index, dense_mask, aligned_mask)``.  ``dense_index``
+        is only meaningful where ``dense_mask`` holds."""
+        np = _np
+        aligned = (addrs & np.uint64(7)) == 0
+        page = addrs >> np.uint64(_PAGE_SHIFT)
+        in_table = page < np.uint64(self.T.size)
+        slot = self.T[np.where(in_table, page, 0).astype(np.intp)]
+        dense = in_table & (slot != np.uint64(_SLOT_POISON))
+        w2 = (
+            np.where(dense, slot, 0)
+            + ((addrs >> np.uint64(3)) & np.uint64(_PAGE_WORDS - 1))
+        ).astype(np.intp)
+        return w2, dense, aligned
+
+    def _lane_words(self, lane: int) -> Dict[int, int]:
+        row = self.M[lane]
+        nz = _np.nonzero(row)[0]
+        pages = self._pages[nz // _PAGE_WORDS]
+        addrs = (pages << _PAGE_SHIFT) + ((nz % _PAGE_WORDS) << 3)
+        words = dict(zip(addrs.tolist(), row[nz].tolist()))
+        for addr, value in self.ovf[lane].items():
+            if value:
+                words[addr] = value
+            else:
+                words.pop(addr, None)
+        return words
+
+    def _lane_memory(self, lane: int) -> SparseMemory:
+        """The lane's final memory as a (lazily materialized) sparse
+        image.  Only valid once the lane has left vector execution —
+        its M row and overflow dict must not change afterwards."""
+        return _LazyLaneMemory(functools.partial(self._lane_words, lane))
+
+    # -- runtime helpers called from generated kernels ----------------
+
+    def _lanewise(self, fn: Callable[[int, int], int], a: Any, b: Any) -> Any:
+        """Per-lane scalar-handler fallback for value-sensitive ops
+        (DIV/REM round through floats in the scalar model)."""
+        np = _np
+        out = np.empty(a.shape[0], dtype=np.uint64)
+        avals = a.tolist()
+        bvals = b.tolist() if isinstance(b, np.ndarray) else None
+        if bvals is None:
+            bconst = int(b)
+            for i, x in enumerate(avals):
+                out[i] = fn(x, bconst)
+        else:
+            for i, x in enumerate(avals):
+                out[i] = fn(x, bvals[i])
+        return out
+
+    def _load_slow(self, idx: Any, addrs: Any, flt: Any) -> Any:
+        """Mixed-destination load: dense pages gather from M, unmapped
+        aligned addresses read the overflow dicts, misaligned lanes
+        join the fault mask (their value is garbage and discarded by
+        the rewind + peel).  Returns ``(values, updated_fault_mask)``.
+        """
+        np = _np
+        w2, dense, aligned = self._addr_state(addrs)
+        bad = ~aligned
+        flt = bad if flt is None else (flt | bad)
+        out = np.empty(idx.size, dtype=np.uint64)
+        out[dense] = self.M[idx[dense], w2[dense]]
+        for j in np.nonzero(~dense)[0].tolist():
+            out[j] = self.ovf[int(idx[j])].get(int(addrs[j]), 0)
+        return out, flt
+
+    def _store_slow(self, idx: Any, addrs: Any, flt: Any, vals: Any) -> Any:
+        """Mixed-destination store: dense pages scatter into M,
+        unmapped aligned addresses write the overflow dicts, and lanes
+        that faulted earlier in the block (or misalign here) are
+        suppressed entirely.  Returns the updated fault mask."""
+        np = _np
+        w2, dense, aligned = self._addr_state(addrs)
+        bad = ~aligned
+        flt = bad if flt is None else (flt | bad)
+        ok = dense & ~flt
+        if ok.any():
+            self.M[idx[ok], w2[ok]] = vals[ok]
+        for j in np.nonzero(~(dense | flt))[0].tolist():
+            self.ovf[int(idx[j])][int(addrs[j])] = int(vals[j])
+        return flt
+
+    def _halt(self, idx: Any, pc: int) -> None:
+        self.final_pc[idx] = pc
+        self.halted[idx] = True
+
+    # -- scalar peel --------------------------------------------------
+
+    def _lane_stats(self, lane: int) -> Tuple[int, int, int, int]:
+        """Derive (loads, stores, branches, jumps) for one lane from
+        the per-kernel execution counters."""
+        loads = stores = branches = jumps = 0
+        for kernel in self._kernels.values():
+            execs = int(kernel.execs[lane])
+            if execs:
+                loads += kernel.loads * execs
+                stores += kernel.stores * execs
+                branches += kernel.branches * execs
+                jumps += kernel.jumps * execs
+        return loads, stores, branches, jumps
+
+    def _peel_block(self, lanes: Any, start: int) -> None:
+        """Retire faulted lanes: their SoA state was rewound to block
+        entry, so the scalar replay re-raises the fault exactly."""
+        for lane in lanes.tolist():
+            self._finish_scalar(lane, start)
+
+    def _finish_scalar(self, lane: int, pc: int) -> None:
+        """Transplant one lane into a real scalar interpreter and run it
+        to completion.
+
+        Used for lanes the vector engine will not model further: a
+        block that faulted (state rewound to block entry), a block that
+        would cross the step budget (the scalar model raises its
+        "exceeded N steps" error at an exact instruction, after
+        checking the budget *before* the PC bounds) and next-PCs
+        outside the program.  The scalar interpreter reproduces
+        ordering, error text and final state by construction.
+        """
+        program = self.programs[lane]
+        interp = Interpreter(program, max_steps=self.max_steps)
+        interp.state.regs = [int(v) for v in self.R[lane]]
+        interp.state.memory = self._lane_memory(lane)
+        interp.state.pc = pc
+        loads, stores, branches, jumps = self._lane_stats(lane)
+        interp.stats = InterpreterStats(
+            instructions=int(self.s_insts[lane]),
+            loads=loads,
+            stores=stores,
+            branches=branches,
+            branches_taken=int(self.s_taken[lane]),
+            jumps=jumps,
+        )
+        error: Optional[str] = None
+        try:
+            interp.run()
+        except ExecutionError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        self.done[lane] = LaneOutcome(
+            state=interp.state, stats=interp.stats, error=error
+        )
+
+    # -- kernel generation --------------------------------------------
+
+    def _imm_info(self, pc: int) -> Tuple[Optional[int], Any]:
+        """``(uniform_imm, None)`` when every lane agrees at ``pc``,
+        else ``(None, per-lane uint64 vector)``."""
+        cached = self._imm_cache.get(pc)
+        if cached is not None:
+            return cached
+        imms = [program[pc].imm for program in self.programs]
+        first = imms[0]
+        if all(value == first for value in imms):
+            info: Tuple[Optional[int], Any] = (first, None)
+        else:
+            vec = _np.array([value & MASK64 for value in imms],
+                            dtype=_np.uint64)
+            info = (None, vec)
+        self._imm_cache[pc] = info
+        return info
+
+    def _imm_operand(self, pc: int, mode: str) -> str:
+        """Render the immediate of ``pc`` as a kernel expression.
+
+        Modes: ``u64`` (masked uint64 scalar/vector), ``shiftu``
+        (uint64 shift count), ``shifti`` (int64 shift count), ``signed``
+        (int64 view for signed compares), ``raw`` (handler argument —
+        the scalar fns mask internally, so masked vectors are
+        congruent).
+        """
+        uniform, vec = self._imm_info(pc)
+        if vec is None:
+            assert uniform is not None
+            if mode == "u64":
+                name = f"_c{pc}"
+                self._ns[name] = _np.uint64(uniform & MASK64)
+                return name
+            if mode in ("shiftu", "shifti"):
+                return str(uniform & 63)
+            if mode == "signed":
+                return f"({to_signed(uniform & MASK64)})"
+            return f"({uniform})"  # raw
+        name = f"_imm{pc}"
+        self._ns[name] = vec
+        gathered = f"{name}[idx]"
+        if mode == "u64" or mode == "raw":
+            return gathered
+        if mode == "shiftu":
+            return f"({gathered} & _63)"
+        if mode == "shifti":
+            return f"({gathered} & _63).astype(_I8)"
+        return f"{gathered}.view(_I8)"  # signed
+
+    def _block_bounds(self, pc: int) -> int:
+        start = self._block_starts[
+            bisect_right(self._block_starts, pc) - 1
+        ]
+        return self._block_end_of[start]
+
+    def _emit_inst(
+        self,
+        pc: int,
+        row: Any,
+        ind: str,
+        emit: Callable[[str], None],
+        read: Callable[[int], str],
+        write: Callable[[int, str], None],
+        imm: Callable[[int, str], str],
+    ) -> None:
+        """Emit one body instruction through the caller's codegen
+        context (shared between straight-line and looping kernels).
+
+        Memory ops use a *poisoned-index* fast path: the page-table
+        lookup plus in-page offset plus alignment term is a valid
+        index into M exactly when the address is aligned and lands on
+        a mapped page; every other case (misaligned -> the ``<< 53``
+        term, unmapped page -> the poison slot base, page beyond the
+        table -> the ``_T`` gather itself) raises ``IndexError``,
+        routing only the rare mixed case through ``_load_slow`` /
+        ``_store_slow``.  The combined index stays below ``2**61`` by
+        construction, so it can never alias a valid slot or wrap
+        negative through numpy's intp cast.
+        """
+        kind = row[R_KIND]
+        inst = row[R_INST]
+        op = inst.op
+        rd, rs1, rs2 = row[R_RD], row[R_RS1], row[R_RS2]
+        if kind == K_LOAD:
+            emit(f"{ind}_a = {read(rs1)} + {imm(pc, 'u64')}")
+            emit(f"{ind}try:")
+            emit(f"{ind}    _v = M[idx, _T[_a >> _PS] "
+                 f"+ ((_a >> _3) & _PM) + ((_a & _7) << _53)]")
+            emit(f"{ind}except IndexError:")
+            emit(f"{ind}    _v, _flt = E._load_slow(idx, _a, _flt)")
+            if rd != 0:
+                write(rd, "_v")
+            return
+        if kind == K_STORE:
+            emit(f"{ind}_a = {read(rs1)} + {imm(pc, 'u64')}")
+            value = read(rs2)
+            # A partial fast scatter before the IndexError is harmless:
+            # lanes with an invalid index are never written, and lanes
+            # with a valid one are rewritten identically by the slow
+            # path.  Once any lane has faulted this block, stores must
+            # be suppressed for it, so the fast path is gated on
+            # ``_flt is None``.
+            emit(f"{ind}if _flt is None:")
+            emit(f"{ind}    try:")
+            emit(f"{ind}        M[idx, _T[_a >> _PS] "
+                 f"+ ((_a >> _3) & _PM) + ((_a & _7) << _53)] = {value}")
+            emit(f"{ind}    except IndexError:")
+            emit(f"{ind}        _flt = E._store_slow(idx, _a, _flt, "
+                 f"{value})")
+            emit(f"{ind}else:")
+            emit(f"{ind}    _flt = E._store_slow(idx, _a, _flt, {value})")
+            return
+        # ALU / MUL / DIV family.
+        uses_imm = inst.alu_uses_imm
+        if op is Op.MOVI:
+            uniform, _ = self._imm_info(pc)
+            if uniform is not None:
+                write(rd, f"_np.full(idx.size, {uniform & MASK64}, _U8)")
+            else:
+                write(rd, imm(pc, "u64"))
+        elif op in (Op.DIV, Op.REM):
+            if rd != 0:
+                a = read(rs1)
+                b = imm(pc, "raw") if uses_imm else read(rs2)
+                self._ns[f"_fn{pc}"] = row[R_FN]
+                write(rd, f"E._lanewise(_fn{pc}, {a}, {b})")
+        elif op in (Op.SLT, Op.SLTI):
+            a = read(rs1)
+            b = (imm(pc, "signed") if uses_imm
+                 else f"{read(rs2)}.view(_I8)")
+            write(rd, f"({a}.view(_I8) < {b}).astype(_U8)")
+        elif op is Op.SLTU:
+            a = read(rs1)
+            b = imm(pc, "u64") if uses_imm else read(rs2)
+            write(rd, f"({a} < {b}).astype(_U8)")
+        elif op in (Op.SRA, Op.SRAI):
+            a = read(rs1)
+            b = (imm(pc, "shifti") if uses_imm
+                 else f"({read(rs2)} & _63).astype(_I8)")
+            write(rd, f"({a}.view(_I8) >> {b}).view(_U8)")
+        elif op in (Op.SLL, Op.SLLI, Op.SRL, Op.SRLI):
+            a = read(rs1)
+            b = (imm(pc, "shiftu") if uses_imm
+                 else f"({read(rs2)} & _63)")
+            sym = "<<" if op in (Op.SLL, Op.SLLI) else ">>"
+            write(rd, f"({a} {sym} {b})")
+        else:
+            a = read(rs1)
+            b = imm(pc, "u64") if uses_imm else read(rs2)
+            write(rd, f"({a} {_ALU_SYM[op]} {b})")
+
+    def _compile_kernel(self, start: int) -> _Kernel:
+        end = self._block_bounds(start)
+        rows = self.rows
+        counts = [0, 0, 0, 0]  # loads, stores, branches, jumps
+        for pc in range(start, end):
+            kind = rows[pc][R_KIND]
+            if kind == K_LOAD:
+                counts[0] += 1
+            elif kind == K_STORE:
+                counts[1] += 1
+            elif kind == K_BRANCH:
+                counts[2] += 1
+            elif kind in (K_JUMP, K_JUMP_INDIRECT):
+                counts[3] += 1
+        execs = _np.zeros(self.n_lanes, dtype=_np.int64)
+        self._ns[f"_x{start}"] = execs
+        last = rows[end - 1]
+        is_loop = (last[R_KIND] == K_BRANCH and last[R_TARGET] == start)
+        if is_loop:
+            fn = self._compile_loop(start, end)
+        else:
+            fn = self._compile_straight(start, end)
+        return _Kernel(
+            length=end - start,
+            loads=counts[0], stores=counts[1],
+            branches=counts[2], jumps=counts[3],
+            is_loop=is_loop, fn=fn, execs=execs,
+        )
+
+    def _compile_straight(self, start: int, end: int) -> Callable[..., Any]:
+        """Generate the batched straight-line kernel for entry PC
+        ``start`` through the end of its containing basic block.
+
+        Signature ``_k(E, idx, R, M) -> (ret, idx)``: ``ret`` is
+        ``None`` (no survivors continue), a Python int (uniform next
+        PC), a ``(taken_mask, target, fallthrough)`` tuple for a
+        divergent branch, or an int64 array for an indirect jump —
+        always aligned with the possibly-narrowed returned ``idx``.
+        Registers are gathered lazily on first read, kept in locals,
+        and scattered back at the exit; faults are deferred into a
+        block-wide mask and the faulting lanes rewound + peeled in one
+        epilogue before the terminator.
+        """
+        length = end - start
+        rows = self.rows
+        has_fault = any(
+            rows[pc][R_KIND] in (K_LOAD, K_STORE, K_JUMP_INDIRECT)
+            for pc in range(start, end)
+        )
+        lines: List[str] = [f"def _k{start}(E, idx, R, M):"]
+        emit = lines.append
+        ind = "    "
+        loc: List[str] = []
+        have: Set[str] = set()
+        dirty: Set[int] = set()
+        if has_fault:
+            # ``None`` means "no lane has faulted yet" — the common
+            # case pays one identity test instead of mask arithmetic.
+            emit(f"{ind}_flt = None")
+
+        def read(reg: int) -> str:
+            name = f"r{reg}"
+            if name not in have:
+                emit(f"{ind}{name} = R[idx, {reg}]")
+                have.add(name)
+                loc.append(name)
+            return name
+
+        def write(reg: int, expr: str) -> None:
+            if reg == 0:
+                return
+            name = f"r{reg}"
+            emit(f"{ind}{name} = {expr}")
+            if name not in have:
+                have.add(name)
+                loc.append(name)
+            dirty.add(reg)
+
+        def imm(pc: int, mode: str) -> str:
+            return self._imm_operand(pc, mode)
+
+        def epilogue(extra: Tuple[str, ...] = ()) -> None:
+            if not has_fault:
+                return
+            emit(f"{ind}if _flt is not None and _flt.any():")
+            emit(f"{ind}    _f = idx[_flt]")
+            emit(f"{ind}    E.s_insts[_f] -= {length}")
+            emit(f"{ind}    _x{start}[_f] -= 1")
+            emit(f"{ind}    E._peel_block(_f, {start})")
+            emit(f"{ind}    _g = ~_flt")
+            emit(f"{ind}    idx = idx[_g]")
+            for name in loc + list(extra):
+                emit(f"{ind}    {name} = {name}[_g]")
+            emit(f"{ind}    if idx.size == 0:")
+            emit(f"{ind}        return None, idx")
+
+        def scatter() -> None:
+            for reg in sorted(dirty):
+                emit(f"{ind}R[idx, {reg}] = r{reg}")
+
+        terminated = False
+        for pc in range(start, end):
+            row = rows[pc]
+            kind = row[R_KIND]
+            if kind in _SKIP_KINDS:
+                continue
+            if kind == K_BRANCH:
+                epilogue()
+                cond = _BRANCH_COND[row[R_INST].op].format(
+                    a=read(row[R_RS1]), b=read(row[R_RS2])
+                )
+                emit(f"{ind}_t = {cond}")
+                emit(f"{ind}E.s_taken[idx[_t]] += 1")
+                scatter()
+                emit(f"{ind}return (_t, {row[R_TARGET]}, {pc + 1}), idx")
+                terminated = True
+                break
+            if kind == K_JUMP:
+                epilogue()
+                write(row[R_RD], f"_np.full(idx.size, {pc + 1}, _U8)")
+                scatter()
+                emit(f"{ind}return {row[R_TARGET]}, idx")
+                terminated = True
+                break
+            if kind == K_JUMP_INDIRECT:
+                emit(f"{ind}_d = {read(row[R_RS1])} + {imm(pc, 'u64')}")
+                emit(f"{ind}_bad = _d >= _NN")
+                emit(f"{ind}_flt = _bad if _flt is None "
+                     f"else (_flt | _bad)")
+                epilogue(extra=("_d",))
+                write(row[R_RD], f"_np.full(idx.size, {pc + 1}, _U8)")
+                scatter()
+                emit(f"{ind}return _d.astype(_I8), idx")
+                terminated = True
+                break
+            if kind == K_HALT:
+                epilogue()
+                scatter()
+                emit(f"{ind}E._halt(idx, {pc})")
+                emit(f"{ind}return None, idx")
+                terminated = True
+                break
+            self._emit_inst(pc, row, ind, emit, read, write, imm)
+        if not terminated:
+            epilogue()
+            scatter()
+            emit(f"{ind}return {end}, idx")
+        exec(compile("\n".join(lines), f"<ensemble:{start}>", "exec"),
+             self._ns)
+        return self._ns[f"_k{start}"]
+
+    def _compile_loop(self, start: int, end: int) -> Callable[..., Any]:
+        """Generate a *looping* kernel for a block whose terminator
+        branches back to its own entry.
+
+        Registers are gathered once into locals and the body iterates
+        in-kernel while every live lane keeps taking the back edge,
+        returning to the scheduler only on divergence, step-budget
+        pressure (``_room``, sized so no lane can cross ``max_steps``
+        mid-kernel), or a fault.  Step/exec/taken counters are applied
+        lazily from iteration counts at every exit.  Blocks with memory
+        ops snapshot their destination registers at each iteration top
+        so a faulting lane can be rewound to its *iteration* entry (=
+        block entry) and peeled exactly.
+        """
+        length = end - start
+        rows = self.rows
+        refs: Set[int] = set()
+        dests: Set[int] = set()
+        has_mem = False
+        for pc in range(start, end):
+            row = rows[pc]
+            kind = row[R_KIND]
+            if kind in _SKIP_KINDS:
+                continue
+            refs.update(row[R_SOURCES])
+            if kind in (K_LOAD, K_STORE):
+                has_mem = True
+            if row[R_WRITES] and row[R_RD] != 0:
+                dests.add(row[R_RD])
+        dest_list = sorted(dests)
+
+        pre: List[str] = [
+            f"    _xk = _x{start}",
+            "    _sti = E.s_insts",
+            "    _stk = E.s_taken",
+        ]
+        narrow: List[str] = []
+        for reg in sorted(refs | dests):
+            pre.append(f"    r{reg} = R[idx, {reg}]")
+            narrow.append(f"r{reg}")
+
+        body: List[str] = []
+        ind = "        "
+        hoisted: Set[str] = set()
+
+        def read(reg: int) -> str:
+            return f"r{reg}"
+
+        def write(reg: int, expr: str) -> None:
+            if reg == 0:
+                return
+            body.append(f"{ind}r{reg} = {expr}")
+
+        def imm(pc: int, mode: str) -> str:
+            expr = self._imm_operand(pc, mode)
+            if "[idx]" not in expr:
+                return expr
+            name = f"_i{pc}"
+            if name not in hoisted:
+                pre.append(f"    {name} = {expr}")
+                hoisted.add(name)
+                narrow.append(name)
+            return name
+
+        for pc in range(start, end - 1):
+            row = rows[pc]
+            if row[R_KIND] in _SKIP_KINDS:
+                continue
+            self._emit_inst(pc, row, ind, body.append, read, write, imm)
+
+        last = rows[end - 1]
+        cond = _BRANCH_COND[last[R_INST].op].format(
+            a=read(last[R_RS1]), b=read(last[R_RS2])
+        )
+
+        snaps: List[str] = []
+        fault_block: List[str] = []
+        if has_mem:
+            snaps = [f"{ind}_flt = None"]
+            snaps += [f"{ind}_s{d} = r{d}" for d in dest_list]
+            fault_block = [
+                f"{ind}if _flt is not None and _flt.any():",
+                f"{ind}    _dd = _k - _ap",
+                f"{ind}    if _dd:",
+                f"{ind}        _sti[idx] += _dd * {length}",
+                f"{ind}        _xk[idx] += _dd",
+                f"{ind}        _ap = _k",
+                f"{ind}    _td = _k - _tap",
+                f"{ind}    if _td:",
+                f"{ind}        _stk[idx] += _td",
+                f"{ind}        _tap = _k",
+                f"{ind}    _f = idx[_flt]",
+            ]
+            for d in dest_list:
+                fault_block.append(f"{ind}    R[_f, {d}] = _s{d}[_flt]")
+            fault_block.extend([
+                f"{ind}    E._peel_block(_f, {start})",
+                f"{ind}    _g = ~_flt",
+                f"{ind}    idx = idx[_g]",
+            ])
+            for name in narrow:
+                fault_block.append(f"{ind}    {name} = {name}[_g]")
+            fault_block.extend([
+                f"{ind}    if idx.size == 0:",
+                f"{ind}        return None, idx",
+            ])
+
+        exit_scatter = [f"R[idx, {d}] = r{d}" for d in dest_list]
+        term: List[str] = [f"{ind}_t = {cond}"]
+        term.append(f"{ind}if _t.all():")
+        term.append(f"{ind}    _k += 1")
+        term.append(f"{ind}    if _k >= _room:")
+        term.append(f"{ind}        _dd = _k - _ap")
+        term.append(f"{ind}        _sti[idx] += _dd * {length}")
+        term.append(f"{ind}        _xk[idx] += _dd")
+        term.append(f"{ind}        _td = _k - _tap")
+        term.append(f"{ind}        if _td:")
+        term.append(f"{ind}            _stk[idx] += _td")
+        for line in exit_scatter:
+            term.append(f"{ind}        {line}")
+        term.append(f"{ind}        return {start}, idx")
+        term.append(f"{ind}    continue")
+        term.append(f"{ind}_k += 1")
+        term.append(f"{ind}_dd = _k - _ap")
+        term.append(f"{ind}_sti[idx] += _dd * {length}")
+        term.append(f"{ind}_xk[idx] += _dd")
+        term.append(f"{ind}_td = _k - 1 - _tap")
+        term.append(f"{ind}if _td:")
+        term.append(f"{ind}    _stk[idx] += _td")
+        term.append(f"{ind}_stk[idx[_t]] += 1")
+        for line in exit_scatter:
+            term.append(f"{ind}{line}")
+        term.append(f"{ind}return (_t, {start}, {end}), idx")
+
+        lines = (
+            [f"def _k{start}(E, idx, R, M):"]
+            + pre
+            + [
+                "    _base = int(_sti[idx].max())",
+                f"    _room = (E.max_steps - _base) // {length}",
+                "    _k = 0",
+                "    _ap = 0",
+                "    _tap = 0",
+                "    while True:",
+            ]
+            + snaps
+            + body
+            + fault_block
+            + term
+        )
+        exec(compile("\n".join(lines), f"<ensemble:{start}>", "exec"),
+             self._ns)
+        return self._ns[f"_k{start}"]
+
+    # -- the cohort scheduler -----------------------------------------
+
+    def run(self) -> List[LaneOutcome]:
+        np = _np
+        max_steps = self.max_steps
+        s_insts = self.s_insts
+        kernels = self._kernels
+        active: Dict[int, Any] = {
+            0: np.arange(self.n_lanes, dtype=np.intp)
+        }
+        # A running upper bound on max(s_insts): lets the scheduler
+        # skip the exact per-lane budget check until a block could
+        # actually cross max_steps.
+        insts_ub = 0
+        # Divergence guard: data-dependent control flow that never
+        # reconverges (out-of-phase search loops) shatters the lanes
+        # into small cohorts that pay full dispatch + numpy overhead
+        # for a handful of lanes each.  Track mean cohort width over a
+        # rolling window of dispatches; when it collapses, drain every
+        # remaining lane through the scalar interpreter, capping the
+        # ensemble at roughly scalar speed instead of far below it.
+        # Convergent splits (if/else diamonds) dispatch wide cohorts
+        # and never trip the guard.
+        drain_avg = max(2, self.n_lanes // 3)
+        window = 256
+        disp_count = 0
+        disp_lanes = 0
+        while active:
+            # Deepest-PC-first: lanes furthest into a loop body reach
+            # the back edge and pile up on the loop head (a low PC)
+            # while the other cohorts drain, so the head dispatches one
+            # wide reconverged cohort instead of many narrow ones.
+            pc = max(active)
+            idx = active.pop(pc)
+            disp_count += 1
+            disp_lanes += idx.size
+            if disp_count == window:
+                if disp_lanes < drain_avg * window:
+                    for lane in idx.tolist():
+                        self._finish_scalar(lane, pc)
+                    for pc2, lanes in active.items():
+                        for lane in lanes.tolist():
+                            self._finish_scalar(lane, pc2)
+                    active.clear()
+                    break
+                disp_count = 0
+                disp_lanes = 0
+            kernel = kernels.get(pc)
+            if kernel is None:
+                kernel = self._compile_kernel(pc)
+                kernels[pc] = kernel
+            length = kernel.length
+            if kernel.is_loop or insts_ub + length > max_steps:
+                over = s_insts[idx] + length > max_steps
+                if over.any():
+                    for lane in idx[over].tolist():
+                        self._finish_scalar(lane, pc)
+                    idx = idx[~over]
+                    if idx.size == 0:
+                        continue
+            if kernel.is_loop:
+                ret, idx = kernel.fn(self, idx, self.R, self.M)
+                ub = int(s_insts.max())
+                if ub > insts_ub:
+                    insts_ub = ub
+            else:
+                s_insts[idx] += length
+                kernel.execs[idx] += 1
+                insts_ub += length
+                ret, idx = kernel.fn(self, idx, self.R, self.M)
+            if ret is None or idx.size == 0:
+                continue
+            cls = type(ret)
+            if cls is tuple:
+                taken, target, fall = ret
+                self._enqueue(active, target, idx[taken])
+                self._enqueue(active, fall, idx[~taken])
+            elif cls is int:
+                self._enqueue(active, ret, idx)
+            else:  # int64 next-PC array (indirect jumps)
+                for value in set(ret.tolist()):
+                    self._enqueue(active, int(value), idx[ret == value])
+        return self._collect()
+
+    def _enqueue(self, active: Dict[int, Any], pc: int, lanes: Any) -> None:
+        if lanes.size == 0:
+            return
+        if 0 <= pc < self.n_insts:
+            current = active.get(pc)
+            active[pc] = (lanes if current is None
+                          else _np.concatenate((current, lanes)))
+        else:
+            # The scalar model decides what a PC outside the program
+            # means (budget error first, then the bounds error).
+            for lane in lanes.tolist():
+                self._finish_scalar(lane, pc)
+
+    def _collect(self) -> List[LaneOutcome]:
+        np = _np
+        d_loads = np.zeros(self.n_lanes, dtype=np.int64)
+        d_stores = np.zeros(self.n_lanes, dtype=np.int64)
+        d_branches = np.zeros(self.n_lanes, dtype=np.int64)
+        d_jumps = np.zeros(self.n_lanes, dtype=np.int64)
+        for kernel in self._kernels.values():
+            if kernel.loads:
+                d_loads += kernel.loads * kernel.execs
+            if kernel.stores:
+                d_stores += kernel.stores * kernel.execs
+            if kernel.branches:
+                d_branches += kernel.branches * kernel.execs
+            if kernel.jumps:
+                d_jumps += kernel.jumps * kernel.execs
+        outcomes: List[LaneOutcome] = []
+        for lane in range(self.n_lanes):
+            outcome = self.done[lane]
+            if outcome is None:
+                if not self.halted[lane]:
+                    raise EnsembleError(
+                        f"lane {lane} neither halted nor faulted"
+                    )  # pragma: no cover - scheduler invariant
+                state = ArchState(
+                    regs=[int(v) for v in self.R[lane]],
+                    memory=self._lane_memory(lane),
+                    pc=int(self.final_pc[lane]),
+                )
+                stats = InterpreterStats(
+                    instructions=int(self.s_insts[lane]),
+                    loads=int(d_loads[lane]),
+                    stores=int(d_stores[lane]),
+                    branches=int(d_branches[lane]),
+                    branches_taken=int(self.s_taken[lane]),
+                    jumps=int(d_jumps[lane]),
+                )
+                outcome = LaneOutcome(state=state, stats=stats, error=None)
+            outcomes.append(outcome)
+        return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Task / cache / runner integration.
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class EnsembleConfig:
+    """The cache-key stand-in for a machine config: ensemble results
+    are functional (no timing), so the key only needs to say so."""
+
+    kind: str = "functional"
+    name: str = "ensemble"
+
+
+@dataclasses.dataclass(frozen=True)
+class EnsembleTask:
+    """One batch of shape-compatible lane programs for
+    :meth:`repro.sim.parallel.ParallelRunner.run_ensemble`."""
+
+    programs: Tuple[Program, ...]
+    max_steps: int = DEFAULT_MAX_STEPS
+    tag: str = "ensemble"
+
+
+def ensemble_key(program: Program, max_steps: int = DEFAULT_MAX_STEPS) -> str:
+    """Content-addressed cache key of one lane: ensemble results are
+    keyed per *lane program*, so a warm ensemble re-simulates nothing
+    and a mixed batch only executes its cold lanes."""
+    return result_key(EnsembleConfig(), program, max_steps)
+
+
+def _lane_result(program: Program, outcome: LaneOutcome,
+                 wall: float) -> CoreResult:
+    return CoreResult(
+        core_name="ensemble",
+        program_name=program.name,
+        cycles=0,
+        instructions=outcome.stats.instructions,
+        state=outcome.state,
+        extra={"interp_stats": outcome.stats},
+        wall_seconds=wall,
+    )
+
+
+def _execute_chunk(
+    payload: Tuple[List[Program], int, str]
+) -> Tuple[str, Any]:
+    """Worker entry (module-level for pickling): run one lane chunk."""
+    programs, max_steps, backend = payload
+    started = time.perf_counter()
+    try:
+        outcomes = EnsembleInterpreter(
+            programs, max_steps=max_steps, backend=backend
+        ).run()
+        return "ok", (outcomes, time.perf_counter() - started)
+    except Exception as exc:  # noqa: BLE001 - crosses a process boundary
+        return "error", f"{type(exc).__name__}: {exc}"
+
+
+def run_ensemble(
+    programs: Sequence[Program],
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    cache: Optional[ResultCache] = None,
+    backend: Optional[str] = None,
+    lanes: Optional[int] = None,
+    jobs: Optional[int] = None,
+    on_error: str = "raise",
+) -> List[Optional[CoreResult]]:
+    """Simulate an ensemble with caching, chunking and lane errors
+    handled.
+
+    Warm lanes (already in ``cache``) load instead of re-simulating;
+    cold lanes are executed in chunks of ``lanes`` width (default
+    ``REPRO_ENSEMBLE_LANES``), optionally across ``jobs`` worker
+    processes when there is more than one chunk.  Returns one
+    :class:`~repro.baselines.core_base.CoreResult` per lane, in order.
+    ``on_error="raise"`` turns failed lanes into
+    :class:`EnsembleTaskError`; ``"skip"`` leaves ``None`` at the
+    failed positions.
+    """
+    if on_error not in ("raise", "skip"):
+        raise EnsembleError(
+            f"on_error must be 'raise' or 'skip', got {on_error!r}"
+        )
+    lane_programs = list(programs)
+    _check_lane_contract(lane_programs)
+    backend = resolve_backend(backend)
+    width = ensemble_lanes() if lanes is None else lanes
+    if width < 1:
+        raise EnsembleError(f"lanes must be >= 1, got {lanes}")
+
+    results: List[Optional[CoreResult]] = [None] * len(lane_programs)
+    failures: List[Tuple[int, str]] = []
+    cold: List[int] = []
+    for lane, program in enumerate(lane_programs):
+        if cache is not None:
+            hit = cache.load(ensemble_key(program, max_steps))
+            if hit is not None:
+                results[lane] = hit
+                continue
+        cold.append(lane)
+
+    chunks = [cold[i:i + width] for i in range(0, len(cold), width)]
+    payloads = [
+        ([lane_programs[lane] for lane in chunk], max_steps, backend)
+        for chunk in chunks
+    ]
+    from repro.sim.parallel import resolve_jobs
+
+    workers = resolve_jobs(jobs)
+    if workers > 1 and len(chunks) > 1:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with context.Pool(processes=min(workers, len(chunks))) as pool:
+            chunk_results = pool.map(_execute_chunk, payloads)
+    else:
+        chunk_results = [_execute_chunk(p) for p in payloads]
+
+    for chunk, (status, value) in zip(chunks, chunk_results):
+        if status != "ok":
+            failures.extend((lane, value) for lane in chunk)
+            continue
+        outcomes, wall = value
+        per_lane_wall = wall / max(1, len(chunk))
+        for lane, outcome in zip(chunk, outcomes):
+            program = lane_programs[lane]
+            if not outcome.ok:
+                failures.append((lane, outcome.error or "unknown error"))
+                continue
+            result = _lane_result(program, outcome, per_lane_wall)
+            results[lane] = result
+            if cache is not None:
+                cache.store(ensemble_key(program, max_steps), result)
+
+    if failures and on_error == "raise":
+        preview = "; ".join(
+            f"{lane_programs[lane].name}[lane {lane}]: {message}"
+            for lane, message in failures[:4]
+        )
+        suffix = "" if len(failures) <= 4 else ", ..."
+        raise EnsembleTaskError(
+            f"{len(failures)}/{len(lane_programs)} ensemble lanes failed "
+            f"({preview}{suffix})"
+        )
+    return results

@@ -35,6 +35,16 @@ def sweep(program: Program,
     sweep is explicit about exactly what varies.  With
     ``on_error="skip"`` a failing point (e.g. a diverging config) is
     dropped from the result list instead of aborting the sweep.
+
+    Cache interaction: points already in ``cache`` load instead of
+    re-simulating.  A cached-but-corrupt entry (one that fails golden
+    verification under ``verify=True``, or that cannot be decoded at
+    all) never fails the sweep by itself under either ``on_error``
+    mode: the entry is quarantined and the point transparently
+    re-simulated, and the fresh result replaces the corrupt file.
+    ``on_error`` governs *simulation* failures only — a point is
+    skipped (or raised on) exactly when its re-simulation fails, never
+    merely because its cache entry was bad.
     """
     tasks = [
         SimTask(config=make_config(value), program=program,
@@ -64,7 +74,15 @@ def sweep_many(programs: Sequence[Program],
 
     The whole (program × axis) matrix is submitted as one batch, so a
     parallel runner overlaps points across programs, not just within
-    one sweep.
+    one sweep.  Caching and ``on_error`` behave exactly as in
+    :func:`sweep`: warm points load, cached-but-corrupt points are
+    quarantined and re-simulated (they do not raise under either
+    mode), and ``on_error`` applies to simulation failures only.
+
+    For seed-varied instances of *one* workload shape, the vectorized
+    ensemble backend (:func:`repro.sim.ensemble.run_ensemble`, or
+    :func:`ensemble_sweep` below) executes all instances in lockstep
+    instead of one sweep task per instance.
     """
     axis_values = list(axis)
     tasks = [
@@ -83,3 +101,44 @@ def sweep_many(programs: Sequence[Program],
         if result is not None:
             out[task.program.name].append((task.tag, result))
     return out
+
+
+def ensemble_sweep(make_program: Callable[[object], Program],
+                   axis: Iterable, *,
+                   max_steps: Optional[int] = None,
+                   jobs: Optional[int] = None,
+                   cache: Optional[ResultCache] = None,
+                   backend: Optional[str] = None,
+                   lanes: Optional[int] = None,
+                   on_error: str = "raise",
+                   ) -> List[Tuple[object, CoreResult]]:
+    """A functional sweep along a *program* axis, executed in lockstep.
+
+    Where :func:`sweep` varies the machine and :func:`sweep_many`
+    crosses programs with machines, this varies the program itself —
+    ``make_program(value)`` builds one instance per axis value (the
+    ``e*`` experiments' seed loops) — and hands the whole batch to the
+    vectorized ensemble backend, which simulates every lane
+    simultaneously instead of one task at a time.  All instances must
+    share a code shape (``Program.shape_fingerprint``); results are
+    functional (final state + interpreter stats, no timing).  Caching
+    is per lane program, so warm lanes load and only cold lanes
+    execute; ``on_error="skip"`` drops failed lanes like :func:`sweep`
+    drops failed points.
+    """
+    from repro.isa.interpreter import DEFAULT_MAX_STEPS
+    from repro.sim.ensemble import run_ensemble
+
+    axis_values = list(axis)
+    programs = [make_program(value) for value in axis_values]
+    results = run_ensemble(
+        programs,
+        max_steps=DEFAULT_MAX_STEPS if max_steps is None else max_steps,
+        cache=cache, backend=backend, lanes=lanes, jobs=jobs,
+        on_error=on_error,
+    )
+    return [
+        (value, result)
+        for value, result in zip(axis_values, results)
+        if result is not None
+    ]

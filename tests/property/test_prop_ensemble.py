@@ -1,0 +1,102 @@
+"""Property: *every lane of a random lockstep ensemble is bit-identical
+to its scalar golden run*.
+
+Lane families reuse the random-program generator from
+``test_prop_random_programs``: one shared loop body (so every lane has
+the same code shape — opcodes, registers, branch targets) with per-lane
+register seeds, heap images, and loop counts.  Data-dependent branches
+then diverge differently in every lane, exercising cohort split and
+reconvergence, loop kernels, and the memory gather/scatter paths under
+shapes no hand-written workload covers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.interpreter import Interpreter
+from repro.sim.ensemble import (
+    BACKEND_NUMPY,
+    BACKEND_PYTHON,
+    EnsembleInterpreter,
+    numpy_available,
+)
+from tests.property.test_prop_random_programs import (
+    HEAP_WORDS,
+    build_program,
+    program_shape,
+)
+
+pytestmark = pytest.mark.skipif(not numpy_available(),
+                                reason="numpy not installed")
+
+# Per-lane variation: everything that may differ under one code shape —
+# MOVI immediates (register init, loop count) and the data image.
+lane_variation = st.tuples(
+    st.lists(st.integers(0, 2**32), min_size=8, max_size=8),
+    st.lists(st.integers(0, 2**20), min_size=HEAP_WORDS,
+             max_size=HEAP_WORDS),
+    st.integers(1, 5),
+)
+
+ensemble_shape = st.tuples(
+    program_shape,
+    st.lists(lane_variation, min_size=2, max_size=6),
+)
+
+
+def build_lanes(shape):
+    (reg_init, heap_init, loop_count, body), variations = shape
+    lanes = [build_program((reg_init, heap_init, loop_count, body))]
+    for regs, heap, count in variations:
+        lanes.append(build_program((regs, heap, count, body)))
+    for lane, program in enumerate(lanes):
+        program.name = f"random@lane{lane}"
+    assert len({p.shape_fingerprint() for p in lanes}) == 1
+    return lanes
+
+
+def assert_bit_identical(programs, outcomes, max_steps):
+    for program, outcome in zip(programs, outcomes):
+        interp = Interpreter(program, max_steps=max_steps)
+        error = None
+        try:
+            interp.run()
+        except Exception as exc:  # noqa: BLE001
+            error = f"{type(exc).__name__}: {exc}"
+        assert outcome.error == error
+        assert outcome.state.regs == interp.state.regs
+        assert outcome.state.memory == interp.state.memory
+        assert outcome.state.pc == interp.state.pc
+        assert outcome.stats == interp.stats
+
+
+@settings(max_examples=40, deadline=None)
+@given(ensemble_shape)
+def test_random_ensembles_match_scalar(shape):
+    programs = build_lanes(shape)
+    outcomes = EnsembleInterpreter(
+        programs, backend=BACKEND_NUMPY).run()
+    assert_bit_identical(programs, outcomes, max_steps=50_000_000)
+
+
+@settings(max_examples=15, deadline=None)
+@given(ensemble_shape, st.integers(1, 400))
+def test_random_ensembles_match_scalar_under_budget(shape, budget):
+    programs = build_lanes(shape)
+    outcomes = EnsembleInterpreter(
+        programs, max_steps=budget, backend=BACKEND_NUMPY).run()
+    assert_bit_identical(programs, outcomes, max_steps=budget)
+
+
+@settings(max_examples=10, deadline=None)
+@given(ensemble_shape)
+def test_python_fallback_matches_numpy_on_random_ensembles(shape):
+    programs = build_lanes(shape)
+    vec = EnsembleInterpreter(programs, backend=BACKEND_NUMPY).run()
+    ref = EnsembleInterpreter(programs, backend=BACKEND_PYTHON).run()
+    for a, b in zip(vec, ref):
+        assert a.error == b.error
+        assert a.state.regs == b.state.regs
+        assert a.state.memory == b.state.memory
+        assert a.stats == b.stats

@@ -71,3 +71,68 @@ def test_sweep_many(program):
     out = sweep_many([program, other], [100],
                      lambda latency: inorder_machine(small_hierarchy_config()))
     assert set(out) == {"db-hashjoin", "db-small"}
+
+
+def _corrupt_cached_regs(cache_dir):
+    """Tamper with the single cached entry's register file so golden
+    verification fails on load."""
+    import json
+
+    entry = next(cache_dir.glob("*.json"))
+    payload = json.loads(entry.read_text())
+    payload["result"]["fields"]["state"]["fields"]["regs"][2] ^= 1
+    entry.write_text(json.dumps(payload))
+    return entry
+
+
+@pytest.mark.parametrize("on_error", ["skip", "raise"])
+def test_sweep_cached_corrupt_point_is_resimulated_not_raised(
+        program, tmp_path, on_error):
+    """A cached-but-corrupt point must never fail the sweep by itself:
+    it is quarantined and transparently re-simulated under either
+    ``on_error`` mode, and the fresh result heals the cache."""
+    from repro.sim.cache import ResultCache
+
+    def make_config(latency):
+        return inorder_machine(small_hierarchy_config())
+
+    warm = sweep(program, [100], make_config,
+                 cache=ResultCache(tmp_path), verify=True)
+    _corrupt_cached_regs(tmp_path)
+
+    cache = ResultCache(tmp_path)
+    results = sweep(program, [100], make_config, cache=cache,
+                    verify=True, on_error=on_error)
+    assert [value for value, _ in results] == [100]
+    assert results[0][1].cycles == warm[0][1].cycles
+    assert results[0][1].state.regs == warm[0][1].state.regs
+    assert cache.stats.invalid == 1  # the quarantine
+
+    # The re-simulated result replaced the corrupt entry: a third sweep
+    # is a pure cache hit with intact state.
+    healed_cache = ResultCache(tmp_path)
+    healed = sweep(program, [100], make_config, cache=healed_cache,
+                   verify=True, on_error=on_error)
+    assert healed_cache.stats.hits == 1
+    assert healed_cache.stats.invalid == 0
+    assert healed[0][1].state.regs == warm[0][1].state.regs
+
+
+def test_ensemble_sweep_varies_the_program_axis(tmp_path):
+    from repro.sim.cache import ResultCache
+    from repro.sim.sweep import ensemble_sweep
+
+    def make_program(seed):
+        return hash_join(table_words=256, probes=24, seed=seed,
+                         name=f"db-seeded-{seed}")
+
+    cache = ResultCache(tmp_path)
+    results = ensemble_sweep(make_program, [1, 2, 3], cache=cache)
+    assert [value for value, _ in results] == [1, 2, 3]
+    assert all(result.core_name == "ensemble" for _, result in results)
+
+    # Warm lanes restore from the cache without executing.
+    warm = ensemble_sweep(make_program, [1, 2, 3], cache=cache)
+    assert cache.stats.hits >= 3
+    for (_, a), (_, b) in zip(results, warm):
+        assert a.state.regs == b.state.regs

@@ -1,0 +1,326 @@
+"""The vectorized ensemble backend's core contract: every lane of a
+lockstep batch is bit-identical to a scalar golden-interpreter run —
+registers, memory, PC, stats, and error strings — across the workload
+suite, divergent control flow, faulting lanes, and step budgets; plus
+the task layer's caching, chunking, and error-policy behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import Interpreter
+from repro.sim.cache import ResultCache
+from repro.sim.ensemble import (
+    BACKEND_NUMPY,
+    BACKEND_PYTHON,
+    EnsembleError,
+    EnsembleInterpreter,
+    EnsembleTask,
+    EnsembleTaskError,
+    ensemble_key,
+    numpy_available,
+    resolve_backend,
+    run_ensemble,
+)
+from repro.sim.parallel import ParallelRunner
+from repro.workloads.suite import WORKLOAD_FACTORIES, suite_params
+
+needs_numpy = pytest.mark.skipif(not numpy_available(),
+                                 reason="numpy not installed")
+
+LANES = 64
+
+
+def lane_programs(name, lanes=LANES, scale="tiny"):
+    kwargs = suite_params(scale)[name]
+    return [
+        WORKLOAD_FACTORIES[name](**kwargs, seed=100 + lane,
+                                 name=f"{name}@lane{lane}")
+        for lane in range(lanes)
+    ]
+
+
+def scalar_reference(program, max_steps=None):
+    interp = (Interpreter(program) if max_steps is None
+              else Interpreter(program, max_steps=max_steps))
+    error = None
+    try:
+        interp.run()
+    except Exception as exc:  # noqa: BLE001 - error text is the oracle
+        error = f"{type(exc).__name__}: {exc}"
+    return interp, error
+
+
+def assert_lane_matches(outcome, program, max_steps=None):
+    interp, error = scalar_reference(program, max_steps)
+    assert outcome.error == error
+    assert outcome.state.regs == interp.state.regs
+    assert outcome.state.memory == interp.state.memory
+    assert outcome.state.pc == interp.state.pc
+    assert outcome.stats == interp.stats
+
+
+# ---------------------------------------------------------------------------
+# Differential bit-identity across the suite, N=64.
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+@pytest.mark.parametrize("workload", sorted(WORKLOAD_FACTORIES))
+def test_every_lane_bit_identical_to_scalar(workload):
+    programs = lane_programs(workload)
+    outcomes = EnsembleInterpreter(programs, backend=BACKEND_NUMPY).run()
+    assert len(outcomes) == LANES
+    for program, outcome in zip(programs, outcomes):
+        assert_lane_matches(outcome, program)
+
+
+@needs_numpy
+def test_python_backend_matches_numpy_backend():
+    programs = lane_programs("int-branchy", lanes=8)
+    vec = EnsembleInterpreter(programs, backend=BACKEND_NUMPY).run()
+    ref = EnsembleInterpreter(programs, backend=BACKEND_PYTHON).run()
+    for a, b in zip(vec, ref):
+        assert a.error == b.error
+        assert a.state.regs == b.state.regs
+        assert a.state.memory == b.state.memory
+        assert a.stats == b.stats
+
+
+def test_python_backend_matches_scalar_without_numpy_requirement():
+    programs = lane_programs("fp-stream", lanes=4)
+    outcomes = EnsembleInterpreter(programs, backend=BACKEND_PYTHON).run()
+    for program, outcome in zip(programs, outcomes):
+        assert_lane_matches(outcome, program)
+
+
+# ---------------------------------------------------------------------------
+# Backend selection and the kill switch.
+# ---------------------------------------------------------------------------
+
+
+def test_kill_switch_restores_scalar_path(monkeypatch):
+    monkeypatch.setenv("REPRO_ENSEMBLE", "0")
+    assert resolve_backend(None) == BACKEND_PYTHON
+
+
+@needs_numpy
+def test_explicit_numpy_request_overrides_kill_switch(monkeypatch):
+    monkeypatch.setenv("REPRO_ENSEMBLE", "0")
+    assert resolve_backend(BACKEND_NUMPY) == BACKEND_NUMPY
+
+
+@needs_numpy
+def test_default_backend_is_numpy_when_available(monkeypatch):
+    monkeypatch.delenv("REPRO_ENSEMBLE", raising=False)
+    assert resolve_backend(None) == BACKEND_NUMPY
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(EnsembleError, match="unknown ensemble backend"):
+        resolve_backend("cuda")
+
+
+# ---------------------------------------------------------------------------
+# Lane contract.
+# ---------------------------------------------------------------------------
+
+
+def test_shape_mismatch_rejected():
+    a = lane_programs("fp-stream", lanes=1)[0]
+    b = lane_programs("int-branchy", lanes=1)[0]
+    with pytest.raises(EnsembleError, match="shape"):
+        EnsembleInterpreter([a, b])
+
+
+def test_empty_ensemble_rejected():
+    with pytest.raises(EnsembleError, match="at least one lane"):
+        EnsembleInterpreter([])
+
+
+# ---------------------------------------------------------------------------
+# Faulting lanes: isolated, bit-exact error text, healthy lanes clean.
+# ---------------------------------------------------------------------------
+
+# r1 (the load address) comes from the data image, so lanes share one
+# code shape while individual lanes fault: misaligned (lane 1), or load
+# from an unmapped page far outside the image (still returns 0 in the
+# sparse model, lane 2), while lanes 0/3 stay healthy.
+FAULTY_ASM = """
+    movi r2, 0x2000
+    ld   r1, 0(r2)
+    ld   r3, 0(r1)
+    addi r4, r3, 1
+    halt
+"""
+
+
+def _faulty_programs():
+    from repro.isa.program import DataWord, Program
+
+    base = assemble(FAULTY_ASM, name="faulty")
+    addr_by_lane = [0x2008, 0x2004 + 1, 0x7000000, 0x2000]
+    return [
+        Program(base.instructions, base.labels,
+                [DataWord(0x2000, addr), DataWord(0x2008, 9)],
+                name=f"faulty@lane{lane}")
+        for lane, addr in enumerate(addr_by_lane)
+    ]
+
+
+@pytest.mark.parametrize(
+    "backend",
+    [pytest.param(BACKEND_NUMPY, marks=needs_numpy), BACKEND_PYTHON])
+def test_faulting_lane_is_isolated_and_bit_exact(backend):
+    programs = _faulty_programs()
+    outcomes = EnsembleInterpreter(programs, backend=backend).run()
+    assert not outcomes[1].ok  # the misaligned lane
+    for program, outcome in zip(programs, outcomes):
+        assert_lane_matches(outcome, program)
+
+
+@pytest.mark.parametrize(
+    "backend",
+    [pytest.param(BACKEND_NUMPY, marks=needs_numpy), BACKEND_PYTHON])
+@pytest.mark.parametrize("budget", [3, 17, 100])
+def test_step_budget_exhaustion_matches_scalar(backend, budget):
+    programs = lane_programs("int-branchy", lanes=6)
+    outcomes = EnsembleInterpreter(
+        programs, max_steps=budget, backend=backend).run()
+    for program, outcome in zip(programs, outcomes):
+        assert_lane_matches(outcome, program, max_steps=budget)
+
+
+# ---------------------------------------------------------------------------
+# run_ensemble: caching, chunking, error policy.
+# ---------------------------------------------------------------------------
+
+
+def test_run_ensemble_results_in_lane_order(tmp_path):
+    programs = lane_programs("fp-stream", lanes=6)
+    results = run_ensemble(programs, backend=BACKEND_PYTHON)
+    assert [r.program_name for r in results] == [
+        p.name for p in programs
+    ]
+    interp, _ = scalar_reference(programs[3])
+    assert results[3].state.regs == interp.state.regs
+    assert results[3].instructions == interp.stats.instructions
+
+
+def test_run_ensemble_warm_cache_skips_execution(tmp_path, monkeypatch):
+    programs = lane_programs("fp-stream", lanes=5)
+    cache = ResultCache(tmp_path)
+    first = run_ensemble(programs, cache=cache, backend=BACKEND_PYTHON)
+    assert all(r is not None for r in first)
+
+    import repro.sim.ensemble as ensemble_mod
+
+    def boom(payload):
+        raise AssertionError("warm ensemble must not execute")
+
+    monkeypatch.setattr(ensemble_mod, "_execute_chunk", boom)
+    warm = run_ensemble(programs, cache=cache, backend=BACKEND_PYTHON)
+    for a, b in zip(first, warm):
+        assert a.state.regs == b.state.regs
+        assert a.state.memory == b.state.memory
+
+
+def test_run_ensemble_mixed_batch_executes_only_cold_lanes(tmp_path):
+    programs = lane_programs("fp-stream", lanes=6)
+    cache = ResultCache(tmp_path)
+    run_ensemble(programs[:3], cache=cache, backend=BACKEND_PYTHON)
+    warm_hits = cache.stats.hits
+    results = run_ensemble(programs, cache=cache, backend=BACKEND_PYTHON)
+    assert cache.stats.hits == warm_hits + 3  # the three warm lanes
+    assert all(r is not None for r in results)
+
+
+def test_run_ensemble_on_error_raise_names_failed_lanes():
+    programs = _faulty_programs()
+    with pytest.raises(EnsembleTaskError, match=r"lane 1"):
+        run_ensemble(programs, backend=BACKEND_PYTHON)
+
+
+def test_run_ensemble_on_error_skip_leaves_none_holes():
+    programs = _faulty_programs()
+    results = run_ensemble(programs, backend=BACKEND_PYTHON,
+                           on_error="skip")
+    assert results[1] is None
+    assert all(results[i] is not None for i in (0, 2, 3))
+
+
+def test_run_ensemble_rejects_bad_on_error():
+    programs = lane_programs("fp-stream", lanes=2)
+    with pytest.raises(EnsembleError, match="on_error"):
+        run_ensemble(programs, on_error="ignore")
+
+
+def test_run_ensemble_chunks_by_lane_width(monkeypatch):
+    programs = lane_programs("fp-stream", lanes=7)
+    import repro.sim.ensemble as ensemble_mod
+
+    chunk_sizes = []
+    real = ensemble_mod._execute_chunk
+
+    def spy(payload):
+        chunk_sizes.append(len(payload[0]))
+        return real(payload)
+
+    monkeypatch.setattr(ensemble_mod, "_execute_chunk", spy)
+    run_ensemble(programs, lanes=3, jobs=1, backend=BACKEND_PYTHON)
+    assert chunk_sizes == [3, 3, 1]
+
+
+def test_run_ensemble_lane_width_from_env(monkeypatch):
+    programs = lane_programs("fp-stream", lanes=4)
+    import repro.sim.ensemble as ensemble_mod
+
+    chunk_sizes = []
+    real = ensemble_mod._execute_chunk
+
+    def spy(payload):
+        chunk_sizes.append(len(payload[0]))
+        return real(payload)
+
+    monkeypatch.setattr(ensemble_mod, "_execute_chunk", spy)
+    monkeypatch.setenv("REPRO_ENSEMBLE_LANES", "2")
+    run_ensemble(programs, jobs=1, backend=BACKEND_PYTHON)
+    assert chunk_sizes == [2, 2]
+
+
+def test_invalid_lane_width_rejected(monkeypatch):
+    programs = lane_programs("fp-stream", lanes=2)
+    monkeypatch.setenv("REPRO_ENSEMBLE_LANES", "zero")
+    with pytest.raises(ConfigError):
+        run_ensemble(programs, backend=BACKEND_PYTHON)
+    with pytest.raises(EnsembleError, match="lanes"):
+        run_ensemble(programs, lanes=0, backend=BACKEND_PYTHON)
+
+
+def test_ensemble_key_is_per_lane_program():
+    a, b = lane_programs("fp-stream", lanes=2)
+    assert ensemble_key(a) != ensemble_key(b)
+    assert ensemble_key(a) == ensemble_key(a)
+    assert ensemble_key(a, max_steps=10) != ensemble_key(a)
+
+
+# ---------------------------------------------------------------------------
+# ParallelRunner integration.
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_runner_run_ensemble(tmp_path):
+    programs = lane_programs("fp-stream", lanes=4)
+    runner = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+    task = EnsembleTask(programs=tuple(programs), max_steps=1_000_000)
+    results = runner.run_ensemble(task, backend=BACKEND_PYTHON)
+    assert [r.program_name for r in results] == [
+        p.name for p in programs
+    ]
+    # Second run restores every lane from the runner's cache.
+    warm = runner.run_ensemble(task, backend=BACKEND_PYTHON)
+    assert runner.cache.stats.hits >= len(programs)
+    for a, b in zip(results, warm):
+        assert a.state.regs == b.state.regs

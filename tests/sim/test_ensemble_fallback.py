@@ -1,0 +1,85 @@
+"""The no-numpy story: with the import absent the ensemble API keeps
+working through the pure-Python lane loop, auto-selection degrades
+silently, and only an *explicit* numpy request errors — with install
+guidance, as an ImportError subclass."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.sim.ensemble as ensemble_mod
+from repro.isa.interpreter import Interpreter
+from repro.sim.ensemble import (
+    BACKEND_NUMPY,
+    BACKEND_PYTHON,
+    EnsembleDependencyError,
+    EnsembleInterpreter,
+    resolve_backend,
+    run_ensemble,
+)
+from repro.workloads.suite import WORKLOAD_FACTORIES, suite_params
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    monkeypatch.setattr(ensemble_mod, "_np", None)
+
+
+def lane_programs(name, lanes):
+    kwargs = suite_params("tiny")[name]
+    return [
+        WORKLOAD_FACTORIES[name](**kwargs, seed=100 + lane,
+                                 name=f"{name}@lane{lane}")
+        for lane in range(lanes)
+    ]
+
+
+def test_numpy_available_reflects_import(no_numpy):
+    assert not ensemble_mod.numpy_available()
+
+
+def test_auto_select_falls_back_to_python(no_numpy, monkeypatch):
+    monkeypatch.delenv("REPRO_ENSEMBLE", raising=False)
+    assert resolve_backend(None) == BACKEND_PYTHON
+
+
+def test_explicit_numpy_request_raises_with_guidance(no_numpy):
+    with pytest.raises(EnsembleDependencyError,
+                       match=r"pip install 'repro\[ensemble\]'"):
+        resolve_backend(BACKEND_NUMPY)
+    # The dependency error doubles as an ImportError for generic
+    # optional-dependency handling.
+    with pytest.raises(ImportError):
+        resolve_backend(BACKEND_NUMPY)
+
+
+def test_fallback_runs_bit_identical_to_scalar(no_numpy):
+    programs = lane_programs("int-branchy", lanes=4)
+    ensemble = EnsembleInterpreter(programs)
+    assert ensemble.backend == BACKEND_PYTHON
+    outcomes = ensemble.run()
+    for program, outcome in zip(programs, outcomes):
+        interp = Interpreter(program)
+        interp.run()
+        assert outcome.ok
+        assert outcome.state.regs == interp.state.regs
+        assert outcome.state.memory == interp.state.memory
+        assert outcome.stats == interp.stats
+
+
+def test_run_ensemble_works_without_numpy(no_numpy):
+    programs = lane_programs("fp-stream", lanes=3)
+    results = run_ensemble(programs)
+    assert [r.program_name for r in results] == [p.name for p in programs]
+
+
+def test_measure_ensemble_reports_unavailable(no_numpy):
+    from repro.experiments.perf import measure_ensemble
+
+    section = measure_ensemble(lanes=2)
+    assert section == {
+        "available": False,
+        "reason": "numpy not installed",
+        "lanes": 2,
+        "scale": "tiny",
+    }
