@@ -1,0 +1,21 @@
+"""Pytest-benchmark adapter for E19 — the experiment itself lives in
+:mod:`repro.experiments.e19_spec_leak`.
+
+Run it standalone (``python benchmarks/bench_e19_spec_leak.py``), through
+pytest-benchmark (``pytest benchmarks/bench_e19_spec_leak.py``), or — for
+the whole suite — ``repro experiments run``.  All three paths go
+through the same :class:`~repro.experiments.engine.ExperimentEngine`
+and write the same text table + JSON result document.
+"""
+
+from repro.experiments import make_bench_test
+
+test_e19_spec_leak = make_bench_test("e19")
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.cli import main
+
+    sys.exit(main(["experiments", "run", "e19", "--echo", *sys.argv[1:]]))

@@ -42,6 +42,22 @@ and equally runnable as ``python -m repro``.  Subcommands:
     mismatches, schema-stale entries, corrupt payloads, orphan
     ``.tmp-*`` files from interrupted stores), or wipe it.
 
+``repro lint [NAMES...] [--all] [--pickle PATH] [--dead-stores]
+[--json]``
+    Run the static verifier (:mod:`repro.analysis.proglint`) and the
+    speculative-leak taint pass (:mod:`repro.analysis.taint`) over
+    registered workloads (suite + analysis gadgets) or a pickled
+    :class:`~repro.isa.program.Program`.  Exit 1 when any diagnostic
+    is reported.
+
+``repro fuzz [--max-examples N] [--out PATH]``
+    Drive the differential program fuzzer
+    (:mod:`repro.workloads.fuzz`): random proglint-clean programs
+    through every core variant, block-dispatch off, and the ensemble
+    backend, checked against the golden interpreter.  A divergence is
+    shrunk to a minimal program, printed, optionally written as a JSON
+    artifact, and exits 1.
+
 Expectation failures are *reported* but do not fail a run by default:
 at smoke scale the qualitative shapes are indicative only.  Pass
 ``--strict-expectations`` (sensible at full scale) to turn them into
@@ -390,6 +406,103 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# lint / fuzz
+# ---------------------------------------------------------------------------
+
+
+def _lintable_programs(args: argparse.Namespace):
+    """Resolve lint targets: registered workload names and/or a pickled
+    Program file."""
+    from repro.workloads import ANALYSIS_WORKLOADS, WORKLOAD_FACTORIES
+
+    registry = {**WORKLOAD_FACTORIES, **ANALYSIS_WORKLOADS}
+    programs = []
+    if args.pickle is not None:
+        import pickle
+
+        with open(args.pickle, "rb") as handle:
+            programs.append(pickle.load(handle))
+    names = list(args.names)
+    if args.all:
+        names = sorted(registry)
+    for name in names:
+        factory = registry.get(name)
+        if factory is None:
+            known = ", ".join(sorted(registry))
+            raise SystemExit(
+                f"repro lint: unknown workload {name!r} (known: {known})"
+            )
+        programs.append(factory())
+    if not programs:
+        raise SystemExit(
+            "repro lint: nothing to lint — pass workload names, --all, "
+            "or --pickle PATH"
+        )
+    return programs
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_taint
+    from repro.analysis.proglint import lint_program
+
+    findings = 0
+    documents = []
+    for program in _lintable_programs(args):
+        diagnostics = list(lint_program(program,
+                                        dead_stores=args.dead_stores))
+        report = analyze_taint(program)
+        diagnostics.extend(report.gadgets)
+        findings += len(diagnostics)
+        documents.append({
+            "program": program.name,
+            "instructions": len(program.instructions),
+            "has_secrets": report.has_secrets,
+            "transient_pcs": len(report.transient_pcs),
+            "diagnostics": [
+                {"kind": diag.kind.value, "pc": diag.pc,
+                 "message": diag.message}
+                for diag in diagnostics
+            ],
+        })
+        if not args.json:
+            verdict = ("clean" if not diagnostics
+                       else f"{len(diagnostics)} finding(s)")
+            print(f"{program.name}: {verdict}")
+            for diag in diagnostics:
+                print(f"  {diag}")
+    if args.json:
+        print(json.dumps({"programs": documents,
+                          "findings": findings}, indent=2))
+    return 1 if findings else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.workloads.fuzz import HAVE_HYPOTHESIS, fuzz
+
+    if not HAVE_HYPOTHESIS:
+        print("repro fuzz: hypothesis is not installed", file=sys.stderr)
+        return 2
+    failure = fuzz(max_examples=args.max_examples)
+    if failure is None:
+        print(f"fuzz: no divergence in {args.max_examples} examples")
+        return 0
+    summary = failure.summary()
+    print("fuzz: DIVERGENCE (shrunk to minimal program)")
+    print(f"  {summary['detail']}")
+    print(f"  {summary['instructions']} instructions, "
+          f"loop x{summary['loop_count']}, "
+          f"{summary['body_atoms']} body atom(s)")
+    for line in summary["listing"]:
+        print(f"    {line}")
+    if args.out is not None:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"  counterexample written to {out}")
+    return 1
+
+
+# ---------------------------------------------------------------------------
 # Argument parsing.
 # ---------------------------------------------------------------------------
 
@@ -549,6 +662,33 @@ def build_parser() -> argparse.ArgumentParser:
         "clear", help="delete every cached result")
     _add_cache_dir(cmd_clear)
     cmd_clear.set_defaults(func=_cmd_cache_clear)
+
+    cmd_lint = top.add_parser(
+        "lint", help="static verifier + speculative-leak taint pass "
+                     "over workloads or a pickled Program")
+    cmd_lint.add_argument("names", nargs="*", metavar="NAME",
+                          help="registered workload names (suite + "
+                               "spec-leak gadgets)")
+    cmd_lint.add_argument("--all", action="store_true",
+                          help="lint every registered workload")
+    cmd_lint.add_argument("--pickle", type=pathlib.Path, default=None,
+                          help="also lint a pickled Program from PATH")
+    cmd_lint.add_argument("--dead-stores", action="store_true",
+                          help="enable the opt-in dead-store pass")
+    cmd_lint.add_argument("--json", action="store_true",
+                          help="machine-readable report")
+    cmd_lint.set_defaults(func=_cmd_lint)
+
+    cmd_fuzz = top.add_parser(
+        "fuzz", help="differential program fuzzer: every core variant "
+                     "vs. the golden interpreter, shrunk on failure")
+    cmd_fuzz.add_argument("--max-examples", type=int, default=100,
+                          help="random program shapes to try "
+                               "(default: 100)")
+    cmd_fuzz.add_argument("--out", default=None, metavar="PATH",
+                          help="write a shrunk counterexample as JSON "
+                               "to PATH")
+    cmd_fuzz.set_defaults(func=_cmd_fuzz)
 
     return parser
 

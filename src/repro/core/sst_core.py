@@ -39,6 +39,7 @@ from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.sanitizer import SSTSanitizer, make_sanitizer
+from repro.analysis.taint_tracker import make_taint_tracker
 from repro.baselines.core_base import (
     Core,
     CoreResult,
@@ -187,6 +188,12 @@ class SSTCore(Core):
         if self.sanitizer is not None:
             self.sanitizer.attach_memory_guard(self.state)
 
+        # ---- optional dynamic taint tracker ----------------------------
+        # None unless REPRO_TAINT is set; observational like the
+        # sanitizer (pure accessors only), so cycle counts are identical
+        # either way.  See repro.analysis.taint_tracker.
+        self.taint = make_taint_tracker(self, program)
+
         # ---- block-dispatch fast paths ---------------------------------
         # Flat decoded rows, shared via the fingerprint-keyed block
         # cache; the reference decode (program.instructions) stays the
@@ -199,7 +206,8 @@ class SSTCore(Core):
         # generated per config signature.  The reference loop keeps all
         # sanitizer hook sites, so sanitized runs always take it.
         self._spec_loop_fn = None
-        if blockcache.enabled() and self.sanitizer is None:
+        if blockcache.enabled() and self.sanitizer is None \
+                and self.taint is None:
             from repro.core.sst_dispatch import compile_spec_loop
             self._spec_loop_fn = compile_spec_loop(
                 config, self.branch_unit.mispredict_penalty
@@ -303,6 +311,8 @@ class SSTCore(Core):
                 "sb_occupancy": self.sb.occupancy,
                 "checkpoints": self.checkpoints.stats,
                 "perf": self.perf,
+                **({"taint": self.taint.finalize_report()}
+                   if self.taint is not None else {}),
             },
             wall_seconds=self._wall_accum,
         )
@@ -695,6 +705,8 @@ class SSTCore(Core):
         if self.sanitizer is not None:
             self.sanitizer.on_episode_begin(trigger_slot)
             self.sanitizer.on_checkpoint(self.checkpoints, trigger_slot)
+        if self.taint is not None:
+            self.taint.on_episode_begin(trigger_pc, seq)
         self._slice_values = {seq: value}
         self._producer_ready = {seq: data_ready}
         self._pending_heap = [(data_ready, seq)]
@@ -756,6 +768,8 @@ class SSTCore(Core):
     def _teardown_episode(self) -> None:
         if self.sanitizer is not None:
             self.sanitizer.on_episode_end(self._cycle)
+        if self.taint is not None:
+            self.taint.on_episode_end()
         self.spec = None
         self.dq.clear()
         self.sb.clear()
@@ -780,6 +794,10 @@ class SSTCore(Core):
 
     def _rollback(self, cycle: int, cause: Optional[FailCause]) -> None:
         """Restore the oldest checkpoint; cause None = scout ending."""
+        if self.taint is not None:
+            # Everything younger than the restored checkpoint is being
+            # squashed: pending tainted fills are confirmed leaks.
+            self.taint.on_rollback()
         target = self.checkpoints.oldest()
         if cause is not None:
             self.stats.fails[cause] += 1
@@ -863,6 +881,9 @@ class SSTCore(Core):
             self.stats.committed_spec_insts += committed
             self._executed += committed
             did_commit = True
+            if self.taint is not None:
+                self.taint.on_region_commit(self._executed,
+                                            boundary.start_seq)
             # A freed checkpoint lets a paused ahead strand resume (the
             # next replay region will re-evaluate its protection).
             if self._replay_no_boundary:
@@ -1142,6 +1163,8 @@ class SSTCore(Core):
 
         if self.sanitizer is not None:
             self.sanitizer.on_replay(selected, self.checkpoints, cycle)
+        if self.taint is not None:
+            self.taint.on_replay(selected, cycle)
         self.dq.remove(selected)
         self._execute_replay(selected, cycle)
         self.stats.replay_insts += 1
@@ -1392,6 +1415,10 @@ class SSTCore(Core):
             sanitizer.on_defer(entry, self.checkpoints, self.dq, cycle)
             if cls is OpClass.STORE:
                 sanitizer.on_spec_store(self.sb, cycle)
+        if self.taint is not None:
+            # Before write_na below, so captured-operand taints read the
+            # pre-issue register state.
+            self.taint.on_defer(entry)
         # A new DQ entry (and possibly a new unresolved store) changes
         # what the replay strand can issue.
         self._replay_stall = None
@@ -1439,6 +1466,12 @@ class SSTCore(Core):
         latencies = self.config.latencies
         seq = self._seq
         next_pc = pc + 1
+
+        if self.taint is not None:
+            # Pre-dispatch (rd may alias a source register); the tracker
+            # mirrors every early-return guard below so it only records
+            # accesses that really reach the hierarchy.
+            self.taint.on_ahead(inst, pc, seq, cycle)
 
         if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
             a = spec.read(inst.rs1)
@@ -1551,6 +1584,10 @@ class SSTCore(Core):
         next_pc = pc + 1
 
         if na_sources:
+            if self.taint is not None:
+                # Pre-write: result taint from the available sources
+                # only (an NA placeholder's taint is unknowable).
+                self.taint.on_scout_na(inst, seq)
             if cls is OpClass.BRANCH:
                 predicted = self.branch_unit.predict_cond(pc)
                 next_pc = inst.target if predicted else pc + 1
@@ -1579,6 +1616,11 @@ class SSTCore(Core):
                 wake = spec.ready[src]
         if wake > cycle:
             return _BLOCKED, wake
+
+        if self.taint is not None:
+            # Pre-dispatch, mirroring the fault guards below; scout
+            # accesses always squash, so tainted ones record directly.
+            self.taint.on_scout(inst, pc, seq, cycle)
 
         if cls in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
             a = spec.read(inst.rs1)

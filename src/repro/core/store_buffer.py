@@ -148,6 +148,18 @@ class StoreBuffer:
                 return entry.value, entry.seq  # type: ignore[return-value]
         return None
 
+    def peek_forward(self, addr: int,
+                     before_seq: int) -> Optional[Tuple[int, int]]:
+        """:meth:`forward` without the stats side effect, for
+        observational instrumentation (the taint tracker) that must not
+        perturb simulation statistics."""
+        limit = bisect.bisect_left(self._seqs, before_seq)
+        for at in range(limit - 1, -1, -1):
+            entry = self._entries[at]
+            if entry.resolved and entry.addr == addr:
+                return entry.value, entry.seq  # type: ignore[return-value]
+        return None
+
     # ------------------------------------------------------------------
     # Commit / rollback.
     # ------------------------------------------------------------------

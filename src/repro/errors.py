@@ -90,3 +90,29 @@ class SanitizerError(SimulatorInvariantError):
             context.append(f"strand={strand}")
         suffix = f" [{', '.join(context)}]" if context else ""
         super().__init__(f"sanitizer: {invariant}: {detail}{suffix}")
+
+
+class TaintError(SimulatorInvariantError):
+    """The dynamic taint tracker observed a speculative-leak event the
+    static taint pass did not predict.
+
+    The static analysis (:mod:`repro.analysis.taint`) is a conservative
+    may-analysis, so every dynamically observed tainted transient cache
+    fill must fall inside its gadget set.  A dynamic observation outside
+    that set means one of the two sides is wrong — a hard error.  The
+    reverse direction (static gadget never observed) is ordinary
+    imprecision and is reported, not raised.  Raised only when
+    ``REPRO_TAINT`` is enabled (see :mod:`repro.analysis.taint_tracker`).
+    """
+
+    def __init__(self, detail: str, *, core: str = "", program: str = ""):
+        self.detail = detail
+        self.core = core
+        self.program = program
+        context = []
+        if core:
+            context.append(f"core={core}")
+        if program:
+            context.append(f"program={program}")
+        suffix = f" [{', '.join(context)}]" if context else ""
+        super().__init__(f"taint: {detail}{suffix}")

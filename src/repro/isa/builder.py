@@ -39,6 +39,7 @@ class ProgramBuilder:
         self._labels: Dict[str, int] = {}
         self._data: List[DataWord] = []
         self._fixups: List[Tuple[int, str]] = []  # (instr index, label)
+        self._secret_ranges: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     # Structure.
@@ -57,6 +58,17 @@ class ProgramBuilder:
     def data_words(self, addr: int, values) -> None:
         for offset, value in enumerate(values):
             self.data_word(addr + 8 * offset, value)
+
+    def mark_secret(self, start: int, end: int) -> None:
+        """Declare the half-open byte range ``[start, end)`` of the data
+        image secret, for the speculative-leak taint analysis."""
+        self._secret_ranges.append((start, end))
+
+    def secret_words(self, addr: int, values) -> None:
+        """Lay out ``values`` at ``addr`` and mark the range secret."""
+        values = list(values)
+        self.data_words(addr, values)
+        self.mark_secret(addr, addr + 8 * len(values))
 
     @property
     def here(self) -> int:
@@ -204,7 +216,7 @@ class ProgramBuilder:
             )
         program = Program(
             instructions, labels=dict(self._labels), data=list(self._data),
-            name=self.name,
+            name=self.name, secret_ranges=list(self._secret_ranges),
         )
         program.validate()
         return program

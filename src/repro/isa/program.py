@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.isa.instruction import Instruction
@@ -43,13 +43,37 @@ class Program:
         labels: Optional[Dict[str, int]] = None,
         data: Optional[Iterable[DataWord]] = None,
         name: str = "program",
+        secret_ranges: Optional[Iterable[Tuple[int, int]]] = None,
     ):
         self.instructions: List[Instruction] = list(instructions)
         self.labels: Dict[str, int] = dict(labels or {})
         self.data: List[DataWord] = list(data or [])
         self.name = name
+        # Half-open [start, end) byte ranges of the data image that hold
+        # secret values, for the speculative-leak taint analysis
+        # (repro.analysis.taint).  Empty for ordinary programs.
+        self.secret_ranges: Tuple[Tuple[int, int], ...] = tuple(
+            sorted((int(start), int(end)) for start, end in (secret_ranges or ()))
+        )
+        for start, end in self.secret_ranges:
+            if start % WORD_SIZE or end % WORD_SIZE or end <= start:
+                raise ReproError(
+                    f"bad secret range [{start:#x}, {end:#x}): ranges must "
+                    f"be non-empty and word-aligned"
+                )
         self._fingerprint: Optional[str] = None
         self._shape_fingerprint: Optional[str] = None
+
+    @property
+    def has_secrets(self) -> bool:
+        return bool(self.secret_ranges)
+
+    def is_secret_addr(self, addr: int) -> bool:
+        """Does the word at ``addr`` overlap a declared secret range?"""
+        for start, end in self.secret_ranges:
+            if start < addr + WORD_SIZE and addr < end:
+                return True
+        return False
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -81,6 +105,11 @@ class Program:
                 )
             for word in self.data:
                 hasher.update(f"d:{word.addr}:{word.value}\n".encode())
+            # Secret annotations change what the taint analysis reports,
+            # so they are part of content identity — but only when
+            # present, so every pre-existing fingerprint is unchanged.
+            for start, end in self.secret_ranges:
+                hasher.update(f"s:{start}:{end}\n".encode())
             self._fingerprint = hasher.hexdigest()
         return self._fingerprint
 

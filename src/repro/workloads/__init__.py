@@ -35,6 +35,12 @@ from repro.workloads.branchy import branchy_reduce
 from repro.workloads.matrix import matrix_multiply
 from repro.workloads.scatter import scatter_update
 from repro.workloads.graph_bfs import graph_bfs
+from repro.workloads.spec_leak import (
+    ANALYSIS_WORKLOADS,
+    spec_leak_gadget,
+    spec_leak_safe,
+    spec_leak_store,
+)
 from repro.workloads.suite import (
     commercial_suite,
     compute_suite,
@@ -52,8 +58,12 @@ __all__ = [
     "matrix_multiply",
     "scatter_update",
     "graph_bfs",
+    "spec_leak_gadget",
+    "spec_leak_safe",
+    "spec_leak_store",
     "commercial_suite",
     "compute_suite",
     "full_suite",
+    "ANALYSIS_WORKLOADS",
     "WORKLOAD_FACTORIES",
 ]

@@ -1,0 +1,138 @@
+"""The opt-in dead-store passes: register writes and memory stores that
+are provably overwritten before any read, with the conservatisms that
+keep real workloads clean (halt-state observability, loop-carried
+reads, unknown-address loads)."""
+
+import pytest
+
+from repro.analysis.proglint import DiagKind, lint_program
+from repro.isa.builder import ProgramBuilder
+from repro.workloads import ANALYSIS_WORKLOADS, WORKLOAD_FACTORIES
+
+
+def dead_stores(program):
+    return [diag for diag in lint_program(program, dead_stores=True)
+            if diag.kind is DiagKind.DEAD_STORE]
+
+
+# ----------------------------------------------------------------------
+# Register dead stores.
+# ----------------------------------------------------------------------
+
+
+def test_overwritten_register_is_flagged():
+    builder = ProgramBuilder("dead-reg")
+    builder.movi(1, 5)
+    builder.movi(1, 0)
+    builder.halt()
+    [diag] = dead_stores(builder.build())
+    assert diag.pc == 0
+
+
+def test_register_live_at_halt_is_not_flagged():
+    # Final register state is architecturally observable: a write with
+    # no later read is only dead if something overwrites it.
+    builder = ProgramBuilder("live-at-halt")
+    builder.movi(1, 5)
+    builder.halt()
+    assert dead_stores(builder.build()) == []
+
+
+def test_read_on_one_branch_path_keeps_the_write_live():
+    builder = ProgramBuilder("one-path-read")
+    builder.movi(1, 1)
+    builder.movi(2, 7)            # read on the taken path only
+    builder.beq(1, 0, "skip")
+    builder.add(3, 2, 1)
+    builder.label("skip")
+    builder.movi(2, 0)
+    builder.halt()
+    assert dead_stores(builder.build()) == []
+
+
+def test_loop_carried_read_keeps_the_write_live():
+    builder = ProgramBuilder("loop-read")
+    builder.movi(1, 4)
+    builder.label("top")
+    builder.movi(2, 9)
+    builder.add(3, 2, 1)
+    builder.addi(1, 1, -1)
+    builder.bne(1, 0, "top")
+    builder.halt()
+    assert dead_stores(builder.build()) == []
+
+
+# ----------------------------------------------------------------------
+# Memory dead stores.
+# ----------------------------------------------------------------------
+
+
+def test_overwritten_memory_store_is_flagged():
+    builder = ProgramBuilder("dead-mem")
+    builder.movi(1, 0x10_0000)
+    builder.movi(2, 7)
+    builder.st(2, 1, 0)
+    builder.st(2, 1, 0)
+    builder.halt()
+    [diag] = dead_stores(builder.build())
+    assert diag.pc == 2
+
+
+def test_intervening_load_keeps_the_store_live():
+    builder = ProgramBuilder("read-between")
+    builder.movi(1, 0x10_0000)
+    builder.movi(2, 7)
+    builder.st(2, 1, 0)
+    builder.ld(3, 1, 0)
+    builder.st(3, 1, 0)
+    builder.halt()
+    assert dead_stores(builder.build()) == []
+
+
+def test_unknown_address_load_keeps_every_store_live():
+    # A load whose address the constant propagation cannot resolve may
+    # read anything: must-overwrite facts are discarded.
+    builder = ProgramBuilder("unknown-load")
+    builder.data_word(0x10_0008, 0x10_0000)
+    builder.movi(1, 0x10_0000)
+    builder.movi(2, 7)
+    builder.st(2, 1, 0)
+    builder.ld(4, 1, 8)      # loads a pointer...
+    builder.ld(5, 4, 0)      # ...then dereferences it (unknown addr)
+    builder.st(2, 1, 0)
+    builder.halt()
+    assert dead_stores(builder.build()) == []
+
+
+def test_final_store_is_never_dead():
+    # Memory at halt is architecturally observable.
+    builder = ProgramBuilder("final-store")
+    builder.movi(1, 0x10_0000)
+    builder.movi(2, 7)
+    builder.st(2, 1, 0)
+    builder.halt()
+    assert dead_stores(builder.build()) == []
+
+
+# ----------------------------------------------------------------------
+# Integration surfaces.
+# ----------------------------------------------------------------------
+
+
+def test_pass_is_opt_in():
+    builder = ProgramBuilder("opt-in")
+    builder.movi(1, 5)
+    builder.movi(1, 0)
+    builder.halt()
+    program = builder.build()
+    default_kinds = [d.kind for d in lint_program(program)]
+    assert DiagKind.DEAD_STORE not in default_kinds
+    assert dead_stores(program)
+
+
+@pytest.mark.parametrize(
+    "name", sorted({**WORKLOAD_FACTORIES, **ANALYSIS_WORKLOADS})
+)
+def test_builtin_workloads_are_dead_store_clean(name):
+    registry = {**WORKLOAD_FACTORIES, **ANALYSIS_WORKLOADS}
+    assert dead_stores(registry[name]()) == []

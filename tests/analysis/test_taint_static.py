@@ -1,0 +1,177 @@
+"""Static speculative-leak taint pass: the seeded gadgets are flagged
+(and only them), ordinary workloads stay silent, transient
+reachability behaves, and the verdict is memoized."""
+
+import pytest
+
+from repro.analysis.taint import analyze_taint, clear_taint_cache, transient_pcs
+from repro.analysis.proglint import DiagKind, check_program, lint_program
+from repro.errors import ReproError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcodes import Op
+from repro.workloads import (
+    ANALYSIS_WORKLOADS,
+    WORKLOAD_FACTORIES,
+    spec_leak_gadget,
+    spec_leak_safe,
+    spec_leak_store,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_taint_cache()
+    yield
+    clear_taint_cache()
+
+
+# ----------------------------------------------------------------------
+# The seeded gadget workloads.
+# ----------------------------------------------------------------------
+
+
+def test_gadget_load_is_flagged():
+    report = analyze_taint(spec_leak_gadget())
+    assert report.has_secrets
+    assert len(report.gadgets) == 1
+    [gadget] = report.gadgets
+    assert gadget.kind is DiagKind.SPEC_LEAK_GADGET
+    # The probe load, not the secret-reading load: the leak is the
+    # tainted ADDRESS, not the tainted value.
+    assert spec_leak_gadget().instructions[gadget.pc].op is Op.LD
+    assert gadget.pc in report.transient_pcs
+
+
+def test_safe_variant_is_clean():
+    report = analyze_taint(spec_leak_safe())
+    assert report.has_secrets
+    assert report.gadgets == ()
+
+
+def test_store_variant_is_flagged():
+    report = analyze_taint(spec_leak_store())
+    assert len(report.gadgets) == 1
+    assert spec_leak_store().instructions[
+        report.gadgets[0].pc].op is Op.ST
+
+
+def test_gadget_workloads_pass_default_lint():
+    # SPEC_LEAK_GADGET is the taint pass's diagnostic, not proglint's:
+    # the gadget programs build through memoize_workload's strict check.
+    for factory in ANALYSIS_WORKLOADS.values():
+        check_program(factory())
+        assert lint_program(factory()) == []
+
+
+# ----------------------------------------------------------------------
+# Ordinary programs: no secrets, no noise.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_FACTORIES))
+def test_suite_workloads_have_no_gadgets(name):
+    report = analyze_taint(WORKLOAD_FACTORIES[name]())
+    assert not report.has_secrets
+    assert report.gadgets == ()
+
+
+def test_secrets_without_transient_address_use_are_silent():
+    builder = ProgramBuilder("secret-but-safe")
+    builder.secret_words(0x10_0000, [7])
+    builder.movi(1, 0x10_0000)
+    builder.ld(2, 1, 0)      # reads the secret...
+    builder.addi(2, 2, 1)    # ...computes on it...
+    builder.st(2, 1, 8)      # ...stores the VALUE: no address leak
+    builder.halt()
+    report = analyze_taint(builder.build())
+    assert report.has_secrets
+    assert report.gadgets == ()
+
+
+# ----------------------------------------------------------------------
+# Transient reachability.
+# ----------------------------------------------------------------------
+
+
+def test_prefix_before_first_trigger_is_not_transient():
+    builder = ProgramBuilder("prefix")
+    builder.movi(1, 0x10_0000)  # 0: before any trigger
+    builder.movi(2, 3)          # 1
+    builder.data_word(0x10_0000, 9)
+    builder.ld(3, 1, 0)         # 2: the trigger itself
+    builder.add(4, 3, 2)        # 3: transient
+    builder.halt()              # 4: transient
+    transient = transient_pcs(builder.build())
+    assert 0 not in transient and 1 not in transient and 2 not in transient
+    assert transient == {3, 4}
+
+
+def test_both_branch_edges_are_transient():
+    builder = ProgramBuilder("both-edges")
+    builder.data_word(0x10_0000, 1)
+    builder.movi(1, 0x10_0000)  # 0
+    builder.ld(2, 1, 0)         # 1: trigger
+    builder.beq(2, 0, "skip")   # 2: transient (same block as trigger)
+    builder.movi(3, 1)          # 3: fall-through edge
+    builder.label("skip")
+    builder.movi(4, 2)          # 4: taken edge
+    builder.halt()              # 5
+    transient = transient_pcs(builder.build())
+    # Every pc after the load, through both predictor outcomes.
+    assert transient == {2, 3, 4, 5}
+
+
+def test_program_without_loads_has_no_transient_window():
+    builder = ProgramBuilder("alu-only")
+    builder.movi(1, 3)
+    builder.addi(2, 1, 4)
+    builder.halt()
+    assert transient_pcs(builder.build()) == frozenset()
+
+
+# ----------------------------------------------------------------------
+# Secret-range plumbing.
+# ----------------------------------------------------------------------
+
+
+def test_secret_ranges_must_be_aligned_and_non_empty():
+    builder = ProgramBuilder("bad-range")
+    builder.halt()
+    builder.mark_secret(0x10_0001, 0x10_0008)
+    with pytest.raises(ReproError):
+        builder.build()
+
+
+def test_secret_ranges_change_the_fingerprint():
+    def sample(secret):
+        builder = ProgramBuilder("fp")
+        builder.data_word(0x10_0000, 5)
+        if secret:
+            builder.mark_secret(0x10_0000, 0x10_0008)
+        builder.halt()
+        return builder.build()
+
+    assert sample(False).fingerprint() != sample(True).fingerprint()
+
+
+def test_is_secret_addr_overlaps_words():
+    builder = ProgramBuilder("overlap")
+    builder.secret_words(0x10_0008, [1])
+    builder.halt()
+    program = builder.build()
+    assert program.is_secret_addr(0x10_0008)
+    assert not program.is_secret_addr(0x10_0010)
+    assert not program.is_secret_addr(0x10_0000)
+
+
+# ----------------------------------------------------------------------
+# Memoization.
+# ----------------------------------------------------------------------
+
+
+def test_reports_are_memoized_by_fingerprint():
+    first = analyze_taint(spec_leak_gadget())
+    second = analyze_taint(spec_leak_gadget())
+    assert first is second
+    clear_taint_cache()
+    assert analyze_taint(spec_leak_gadget()) is not first

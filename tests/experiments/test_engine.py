@@ -61,7 +61,7 @@ def test_cli_run_round_trips_a_valid_document(smoke_env, tmp_path, capsys):
 def test_cli_list_shows_all_experiments(capsys):
     assert cli.main(["experiments", "list", "--json"]) == 0
     listing = json.loads(capsys.readouterr().out)
-    assert len(listing) == 18
+    assert len(listing) == 19
     assert listing[0]["id"] == "e1"
 
 

@@ -17,7 +17,7 @@ from repro.experiments import (
 )
 from repro.experiments.spec import ExperimentLookupError
 
-EXPECTED_COUNT = 18
+EXPECTED_COUNT = 19
 
 
 def test_all_experiments_registered():

@@ -21,11 +21,8 @@ from repro.sim.ensemble import (
     EnsembleInterpreter,
     numpy_available,
 )
-from tests.property.test_prop_random_programs import (
-    HEAP_WORDS,
-    build_program,
-    program_shape,
-)
+from repro.workloads.fuzz import HEAP_WORDS, build_program
+from tests.property.test_prop_random_programs import program_shape
 
 pytestmark = pytest.mark.skipif(not numpy_available(),
                                 reason="numpy not installed")

@@ -1,158 +1,29 @@
 """The library's strongest correctness property: *random programs end in
 the same architectural state on every core*.
 
-A generated program has a counted outer loop, data-dependent forward
-branches, leaf calls, safe (masked, aligned) loads and stores over a
-small shared heap, long-latency ops and barriers.  Any bug in deferral,
-replay ordering, store forwarding, last-writer merge, rollback, or
-scout re-execution shows up as a register/memory diff against the
-golden interpreter.
+The shape strategy, the shape-to-program builder, and the core-variant
+matrix now live in :mod:`repro.workloads.fuzz` (the differential
+fuzzer CLI drives the same machinery); these tests run them under
+hypothesis' ``@given`` so coverage accumulates across CI runs.  Any
+bug in deferral, replay ordering, store forwarding, last-writer merge,
+rollback, or scout re-execution shows up as a register/memory diff
+against the golden interpreter.
 """
 
 from hypothesis import given, settings, strategies as st
 
-from repro.config import InOrderConfig, OoOConfig, SSTConfig
-from repro.baselines.inorder import InOrderCore
-from repro.baselines.ooo import OoOCore
+from repro.config import SSTConfig
 from repro.core import SSTCore
-from repro.isa.builder import ProgramBuilder
-from repro.isa.opcodes import Op
-from repro.isa.registers import RA_REG
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.sim.runner import verify_against_golden
-from tests.conftest import small_hierarchy_config
-
-HEAP = 0x100000
-HEAP_WORDS = 64
-POOL = list(range(1, 9))  # general registers used by generated code
-ALU_REG_OPS = [Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SLT,
-               Op.SLTU, Op.DIV, Op.REM]
-ALU_IMM_OPS = [Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLTI]
-SHIFT_OPS = [Op.SLLI, Op.SRLI, Op.SRAI]
-BRANCH_OPS = [Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU]
-
-reg = st.sampled_from(POOL)
-reg_or_zero = st.sampled_from([0] + POOL)
-
-atom = st.one_of(
-    st.tuples(st.just("alu"), st.sampled_from(ALU_REG_OPS), reg,
-              reg_or_zero, reg_or_zero),
-    st.tuples(st.just("alui"), st.sampled_from(ALU_IMM_OPS), reg, reg,
-              st.integers(-128, 127)),
-    st.tuples(st.just("shift"), st.sampled_from(SHIFT_OPS), reg, reg,
-              st.integers(0, 63)),
-    st.tuples(st.just("movi"), reg, st.integers(-(2**40), 2**40)),
-    st.tuples(st.just("load"), reg, reg),
-    st.tuples(st.just("store"), reg, reg),
-    st.tuples(st.just("branch"), st.sampled_from(BRANCH_OPS), reg,
-              reg_or_zero, st.integers(1, 3)),
-    st.tuples(st.just("call"),),
-    st.tuples(st.just("membar"),),
-    st.tuples(st.just("prefetch"), reg),
-    st.tuples(st.just("nop"),),
+from repro.workloads.fuzz import (
+    CORE_FACTORIES,
+    build_program,
+    program_shapes,
+    small_hierarchy,
 )
 
-program_shape = st.tuples(
-    st.lists(st.integers(0, 2**32), min_size=8, max_size=8),  # reg init
-    st.lists(st.integers(0, 2**20), min_size=HEAP_WORDS,
-             max_size=HEAP_WORDS),  # heap init
-    st.integers(1, 5),  # loop iterations
-    st.lists(atom, min_size=4, max_size=28),  # loop body
-)
-
-
-def build_program(shape) -> "ProgramBuilder":
-    reg_init, heap_init, loop_count, body = shape
-    builder = ProgramBuilder("random")
-    builder.data_words(HEAP, heap_init)
-    for index, value in enumerate(reg_init):
-        builder.movi(POOL[index], value)
-    builder.movi(10, HEAP)
-    builder.movi(11, loop_count)
-    builder.label("top")
-    label_id = [0]
-
-    def emit(item):
-        kind = item[0]
-        if kind == "alu":
-            _, op, rd, rs1, rs2 = item
-            builder.alu(op, rd, rs1, rs2)
-        elif kind == "alui":
-            _, op, rd, rs1, imm = item
-            builder.alui(op, rd, rs1, imm)
-        elif kind == "shift":
-            _, op, rd, rs1, amount = item
-            builder.alui(op, rd, rs1, amount)
-        elif kind == "movi":
-            _, rd, value = item
-            builder.movi(rd, value)
-        elif kind == "load":
-            _, rd, base = item
-            builder.andi(12, base, 8 * (HEAP_WORDS - 1))
-            builder.add(12, 12, 10)
-            builder.ld(rd, 12, 0)
-        elif kind == "store":
-            _, src, base = item
-            builder.andi(12, base, 8 * (HEAP_WORDS - 1))
-            builder.add(12, 12, 10)
-            builder.st(src, 12, 0)
-        elif kind == "prefetch":
-            (_, base) = item
-            builder.andi(12, base, 8 * (HEAP_WORDS - 1))
-            builder.add(12, 12, 10)
-            builder.prefetch(12, 0)
-        elif kind == "membar":
-            builder.membar()
-        elif kind == "nop":
-            builder.nop()
-        elif kind == "call":
-            builder.jal(RA_REG, "leaf")
-        else:  # pragma: no cover
-            raise AssertionError(kind)
-
-    index = 0
-    while index < len(body):
-        item = body[index]
-        if item[0] == "branch":
-            _, op, rs1, rs2, skip = item
-            label = f"skip{label_id[0]}"
-            label_id[0] += 1
-            builder.branch(op, rs1, rs2, label)
-            for skipped in body[index + 1:index + 1 + skip]:
-                if skipped[0] != "branch":  # keep nesting simple
-                    emit(skipped)
-            builder.label(label)
-            index += 1 + skip
-        else:
-            emit(item)
-            index += 1
-
-    builder.addi(11, 11, -1)
-    builder.bne(11, 0, "top")
-    builder.halt()
-    builder.label("leaf")
-    builder.xor(1, 1, 2)
-    builder.addi(2, 2, 3)
-    builder.jalr(0, RA_REG, 0)
-    return builder.build()
-
-
-CORE_FACTORIES = [
-    ("inorder", lambda p, h: InOrderCore(p, h, InOrderConfig())),
-    ("ooo", lambda p, h: OoOCore(p, h, OoOConfig(
-        rob_size=32, iq_size=16, lsq_size=16))),
-    ("ooo-oracle", lambda p, h: OoOCore(p, h, OoOConfig(
-        rob_size=64, iq_size=21, lsq_size=21, perfect_disambiguation=True))),
-    ("sst", lambda p, h: SSTCore(p, h, SSTConfig())),
-    ("ea-conservative", lambda p, h: SSTCore(p, h, SSTConfig(
-        checkpoints=1, bypass_unresolved_stores=False))),
-    ("sst-stressed", lambda p, h: SSTCore(p, h, SSTConfig(
-        checkpoints=3, dq_size=3, sb_size=2))),
-    ("sst-stall", lambda p, h: SSTCore(p, h, SSTConfig(
-        dq_size=4, sb_size=4, scout_enabled=False))),
-    ("scout-only", lambda p, h: SSTCore(p, h, SSTConfig(
-        checkpoints=1, scout_only=True))),
-]
+program_shape = program_shapes()
 
 
 @settings(max_examples=60, deadline=None)
@@ -160,7 +31,7 @@ CORE_FACTORIES = [
 def test_all_cores_match_golden_on_random_programs(shape):
     program = build_program(shape)
     for name, factory in CORE_FACTORIES:
-        hierarchy = MemoryHierarchy(small_hierarchy_config(latency=60))
+        hierarchy = MemoryHierarchy(small_hierarchy(latency=60))
         core = factory(program, hierarchy)
         result = core.run(max_instructions=2_000_000)
         result.core_name = name
@@ -171,7 +42,7 @@ def test_all_cores_match_golden_on_random_programs(shape):
 @given(program_shape, st.integers(20, 400))
 def test_sst_matches_golden_across_latencies(shape, latency):
     program = build_program(shape)
-    hierarchy = MemoryHierarchy(small_hierarchy_config(latency=latency))
+    hierarchy = MemoryHierarchy(small_hierarchy(latency=latency))
     result = SSTCore(program, hierarchy, SSTConfig()).run(
         max_instructions=2_000_000
     )
@@ -185,12 +56,12 @@ def test_quantum_chopped_execution_is_cycle_exact(shape, quantum):
     — the soundness condition of the multicore scheduler."""
     program = build_program(shape)
 
-    hierarchy = MemoryHierarchy(small_hierarchy_config(latency=60))
+    hierarchy = MemoryHierarchy(small_hierarchy(latency=60))
     whole = SSTCore(program, hierarchy, SSTConfig()).run(
         max_instructions=2_000_000
     )
 
-    hierarchy = MemoryHierarchy(small_hierarchy_config(latency=60))
+    hierarchy = MemoryHierarchy(small_hierarchy(latency=60))
     chopped_core = SSTCore(program, hierarchy, SSTConfig())
     while not chopped_core.advance(chopped_core.cycle + quantum,
                                    2_000_000):
