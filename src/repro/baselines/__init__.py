@@ -1,6 +1,19 @@
 """Baseline cores the paper compares SST against: a scoreboarded
 in-order pipeline (the substrate SST extends) and a classical
-out-of-order core (the "larger and higher-powered" comparator)."""
+out-of-order core (the "larger and higher-powered" comparator).
+
+Naming note — two unrelated kinds of "baseline" live in this repo:
+
+* ``repro.baselines`` (this package): the paper's *reference core
+  models*, the architectural comparison points of the evaluation;
+* ``repro.regress``: the *behavioral baseline firewall* — governed
+  capture/verify records of what the simulator computed (cycle
+  counts, final state hashes), stored under ``benchmarks/baselines/``
+  and managed by the ``repro baseline`` CLI.
+
+A "baseline machine" is a processor; a "baseline record" is a pinned
+expected behavior.  See :mod:`repro.regress` for the latter.
+"""
 
 from repro.baselines.core_base import Core, CoreResult
 from repro.baselines.inorder import InOrderCore

@@ -35,12 +35,26 @@ and equally runnable as ``python -m repro``.  Subcommands:
     over seed-varied lane batches of the workload suite, reporting
     per-workload and aggregate insts/host-second and speedup.
 
+``repro baseline capture|verify|promote|retire|diff|list``
+    Drive the behavioral baseline firewall (:mod:`repro.regress`).
+    ``capture`` runs the experiment corpus (documents are *not*
+    written) and records every simulation's behavior into the governed
+    store at ``benchmarks/baselines/``; ``verify`` re-runs the corpus
+    and exits 1 on any divergence from a stored baseline — after an
+    intentional behavior change, ``capture`` followed by an explicit
+    ``promote`` is the only green path.  ``diff`` shows pending
+    (captured-but-unpromoted) behavior changes; ``list`` shows the
+    store's governance state.
+
 ``repro cache stats|fsck|clear [--cache-dir DIR]``
     Maintain the content-addressed simulation result cache
     (``benchmarks/.simcache/`` / ``REPRO_CACHE_DIR``): show on-disk
     usage, scan-and-repair integrity problems (key-vs-content
     mismatches, schema-stale entries, corrupt payloads, orphan
-    ``.tmp-*`` files from interrupted stores), or wipe it.
+    ``.tmp-*`` files from interrupted stores), or wipe it.  ``stats``
+    also summarizes the baseline store; ``fsck`` additionally scans
+    baseline records and cross-checks them against live cache entries
+    (baseline problems are reported, never auto-repaired).
 
 ``repro lint [NAMES...] [--all] [--pickle PATH] [--dead-stores]
 [--json]``
@@ -362,6 +376,232 @@ def _cmd_ensemble_bench(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# baseline capture / verify / promote / retire / diff / list
+# ---------------------------------------------------------------------------
+
+
+def _open_store(args: argparse.Namespace):
+    from repro.regress.store import BaselineStore
+
+    return BaselineStore(getattr(args, "baseline_dir", None))
+
+
+def _baseline_corpus_run(args: argparse.Namespace, mode: str) -> int:
+    """Shared engine for ``baseline capture`` and ``baseline verify``:
+    run the experiment corpus (no documents written) with one shared
+    firewall collecting every observation, then report."""
+    from repro.regress.firewall import BaselineFirewall
+    from repro.regress.semid import dump_stable, short_id
+
+    if args.smoke:
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+    try:
+        specs = _select_specs(args.ids, args.all, None)
+    except ExperimentLookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("error: no experiments selected", file=sys.stderr)
+        return 2
+
+    firewall = BaselineFirewall(
+        _open_store(args), mode=mode, strict=False,
+        note=getattr(args, "note", "") or "",
+    )
+    engine = ExperimentEngine(
+        smoke=bool(args.smoke) or None, jobs=args.jobs,
+        write=False, firewall=firewall,
+    )
+    errors = 0
+    for spec in specs:
+        started = time.perf_counter()
+        try:
+            engine.run(spec)
+        except Exception:  # noqa: BLE001 — finish the corpus, then fail
+            errors += 1
+            print(f"  FAIL  {spec.name}", file=sys.stderr)
+            traceback.print_exc()
+            continue
+        print(f"  {mode:7s} {spec.name:26s} "
+              f"{time.perf_counter() - started:6.2f}s")
+
+    stats = firewall.stats
+    report = firewall.report()
+    if args.report is not None:
+        out = pathlib.Path(args.report)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(dump_stable(report))
+        print(f"diff report written to {out}")
+    if args.json:
+        print(dump_stable(report), end="")
+    else:
+        counts = ", ".join(f"{name}={value}"
+                           for name, value in stats.as_dict().items()
+                           if value)
+        print(f"baseline {mode}: {stats.observed} observations "
+              f"({counts or 'none'}) in {firewall.store.root}")
+        for divergence in firewall.divergences:
+            print(f"  DIVERGED {divergence.summary()}")
+
+    if errors:
+        return 1
+    if mode == "capture":
+        pending = stats.recaptured + stats.pending
+        if pending and not args.json:
+            print(f"{pending} behavior change(s) parked as candidates — "
+                  f"review with `repro baseline diff`, then "
+                  f"`repro baseline promote` to approve")
+        return 0
+    # verify: red on any divergence, and on an empty run (a corpus that
+    # verified nothing protects nothing).
+    if stats.divergent:
+        if not args.json:
+            print(f"FAIL: {stats.divergent} divergence(s) from stored "
+                  f"baselines — if intentional, `repro baseline "
+                  f"capture` then `repro baseline promote "
+                  + " ".join(sorted({short_id(d.semid)
+                                     for d in firewall.divergences})),
+                  file=sys.stderr)
+        return 1
+    if not (stats.verified or stats.unseen):
+        print("FAIL: no baseline observations at all", file=sys.stderr)
+        return 1
+    if stats.verified == 0:
+        print("FAIL: no stored baseline matched any observation "
+              "(empty or mislocated store? run `repro baseline "
+              "capture` first)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_baseline_capture(args: argparse.Namespace) -> int:
+    return _baseline_corpus_run(args, "capture")
+
+
+def _cmd_baseline_verify(args: argparse.Namespace) -> int:
+    return _baseline_corpus_run(args, "verify")
+
+
+def _cmd_baseline_promote(args: argparse.Namespace) -> int:
+    from repro.regress.records import BaselineTransitionError
+    from repro.regress.semid import short_id
+    from repro.regress.store import BaselineLookupError
+
+    store = _open_store(args)
+    targets: List[str] = []
+    if args.all:
+        targets = [record.semid for record in store.records()
+                   if record.status == "candidate"
+                   or record.candidate_behavior is not None]
+        if not targets:
+            print("nothing to promote")
+            return 0
+    else:
+        if not args.semids:
+            print("error: pass baseline ids (prefixes ok) or --all",
+                  file=sys.stderr)
+            return 2
+        try:
+            targets = [store.resolve(prefix) for prefix in args.semids]
+        except BaselineLookupError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    failed = 0
+    for semid in targets:
+        try:
+            action = store.promote(semid, note=args.note or "")
+        except BaselineTransitionError as exc:
+            failed += 1
+            print(f"error: {exc}", file=sys.stderr)
+            continue
+        print(f"{short_id(semid)} {action}")
+    return 1 if failed else 0
+
+
+def _cmd_baseline_retire(args: argparse.Namespace) -> int:
+    from repro.regress.records import BaselineTransitionError
+    from repro.regress.semid import short_id
+    from repro.regress.store import BaselineLookupError
+
+    store = _open_store(args)
+    failed = 0
+    for prefix in args.semids:
+        try:
+            semid = store.resolve(prefix)
+            store.retire(semid, note=args.note or "")
+        except (BaselineLookupError, BaselineTransitionError) as exc:
+            failed += 1
+            print(f"error: {exc}", file=sys.stderr)
+            continue
+        print(f"{short_id(semid)} retired")
+    return 1 if failed else 0
+
+
+def _cmd_baseline_diff(args: argparse.Namespace) -> int:
+    from repro.regress.semid import dump_stable, short_id
+
+    store = _open_store(args)
+    pending = [record for record in store.records()
+               if record.candidate_behavior is not None]
+    if args.json:
+        print(dump_stable([
+            {
+                "semid": record.semid,
+                "kind": record.kind,
+                "scenario": record.scenario,
+                "fields": {
+                    field: {"approved": approved, "candidate": candidate}
+                    for field, (approved, candidate)
+                    in record.diff_behavior(
+                        record.candidate_behavior).items()
+                },
+            }
+            for record in pending
+        ]), end="")
+        return 1 if pending else 0
+    if not pending:
+        print(f"no pending behavior changes in {store.root}")
+        return 0
+    for record in pending:
+        where = "/".join(
+            str(value) for key, value in sorted(record.scenario.items())
+            if key in ("machine", "program", "experiment"))
+        print(f"{short_id(record.semid)} {record.kind} {where}")
+        for field, (approved, candidate) in sorted(
+                record.diff_behavior(record.candidate_behavior).items()):
+            print(f"  {field}: {approved!r} -> {candidate!r}")
+    print(f"{len(pending)} pending change(s); `repro baseline promote` "
+          f"to approve")
+    return 1
+
+
+def _cmd_baseline_list(args: argparse.Namespace) -> int:
+    from repro.regress.semid import dump_stable, short_id
+
+    store = _open_store(args)
+    records = store.records(args.status or None)
+    if args.json:
+        print(dump_stable([record.to_doc() for record in records]),
+              end="")
+        return 0
+    if not records:
+        print(f"no baseline records in {store.root}")
+        return 0
+    for record in records:
+        where = "/".join(
+            str(value) for key, value in sorted(record.scenario.items())
+            if key in ("machine", "program", "experiment"))
+        pending = "  [pending change]" \
+            if record.candidate_behavior is not None else ""
+        print(f"{short_id(record.semid)}  {record.status:9s} "
+              f"{record.kind:10s} {where}{pending}")
+    counts = ", ".join(f"{status}={count}" for status, count
+                       in sorted(store.status_counts().items()))
+    print(f"{len(records)} record(s) ({counts}) in {store.root}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # cache stats / fsck / clear
 # ---------------------------------------------------------------------------
 
@@ -372,25 +612,52 @@ def _open_cache(args: argparse.Namespace) -> ResultCache:
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
     info = _open_cache(args).disk_stats()
+    store = _open_store(args)
+    info["baselines"] = {
+        "dir": str(store.root),
+        "records": len(store),
+        "status": store.status_counts(),
+    }
     if args.json:
         print(json.dumps(info, indent=2))
         return 0
     cap = (f"{info['max_bytes']} bytes" if info["max_bytes"] is not None
            else "unbounded")
+    statuses = ", ".join(
+        f"{status}={count}" for status, count
+        in sorted(info["baselines"]["status"].items())) or "none"
     print(f"cache dir:   {info['dir']}")
     print(f"schema:      {info['schema']}")
     print(f"entries:     {info['entries']}")
     print(f"total size:  {info['total_bytes']} bytes")
     print(f"orphan tmp:  {info['orphan_tmp']}")
     print(f"size cap:    {cap}")
+    print(f"baselines:   {info['baselines']['records']} record(s) "
+          f"({statuses}) in {info['baselines']['dir']}")
     return 0
 
 
 def _cmd_cache_fsck(args: argparse.Namespace) -> int:
-    report = _open_cache(args).fsck(repair=not args.dry_run)
+    cache = _open_cache(args)
+    report = cache.fsck(repair=not args.dry_run)
     print(f"fsck: {report.summary()}")
     for name in report.removed:
         print(f"  removed {name}")
+    # Baseline records are governed state: scan and cross-check against
+    # the cache, but never auto-remove — repairs go through explicit
+    # `repro baseline retire` or review.
+    store = _open_store(args)
+    baseline_report = store.fsck()
+    print(f"fsck: {baseline_report.summary()}")
+    for name in baseline_report.bad_files:
+        print(f"  bad baseline record {name}")
+    cross = store.cross_check(cache)
+    print(f"fsck: {cross.summary()}")
+    for mismatch in cross.mismatches:
+        print(f"  baseline/cache MISMATCH {mismatch['semid'][:12]} "
+              f"{sorted(mismatch['fields'])}")
+    if baseline_report.problems or cross.problems:
+        return 1
     # fsck convention: non-zero when problems were found but left in
     # place (--dry-run); a repairing run that fixed everything exits 0.
     if args.dry_run and report.problems:
@@ -631,6 +898,98 @@ def build_parser() -> argparse.ArgumentParser:
     cmd_ens_bench.add_argument("--json", action="store_true",
                                help="machine-readable output")
     cmd_ens_bench.set_defaults(func=_cmd_ensemble_bench)
+
+    baseline = top.add_parser(
+        "baseline", help="behavioral baseline firewall: governed "
+                         "capture/verify of simulation behavior")
+    baseline_sub = baseline.add_subparsers(dest="subcommand",
+                                           required=True)
+
+    def _add_baseline_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--baseline-dir", type=pathlib.Path,
+                         default=None,
+                         help="baseline store (default: "
+                              "REPRO_BASELINE_DIR or "
+                              "benchmarks/baselines/)")
+
+    def _add_corpus_args(sub: argparse.ArgumentParser) -> None:
+        _add_baseline_dir(sub)
+        sub.add_argument("ids", nargs="*", metavar="ID",
+                         help="experiment ids (default: all)")
+        sub.add_argument("--all", action="store_true",
+                         help="run every registered experiment")
+        sub.add_argument("--smoke", action="store_true",
+                         help="tiny workloads (sets "
+                              "REPRO_BENCH_SMOKE=1) — the committed "
+                              "corpus scale")
+        sub.add_argument("--jobs", type=int, default=None,
+                         help="simulation worker processes per "
+                              "experiment (default: REPRO_JOBS or 1)")
+        sub.add_argument("--report", default=None, metavar="PATH",
+                         help="write the JSON diff report to PATH "
+                              "(the CI artifact)")
+        sub.add_argument("--json", action="store_true",
+                         help="print the diff report as JSON")
+
+    cmd_bl_capture = baseline_sub.add_parser(
+        "capture", help="run the corpus and record observed behavior "
+                        "(new records land as candidates; changed "
+                        "behavior parks pending an explicit promote)")
+    _add_corpus_args(cmd_bl_capture)
+    cmd_bl_capture.add_argument("--note", default="",
+                                help="audit note recorded with every "
+                                     "capture")
+    cmd_bl_capture.set_defaults(func=_cmd_baseline_capture)
+
+    cmd_bl_verify = baseline_sub.add_parser(
+        "verify", help="run the corpus and check behavior against "
+                       "stored baselines (exit 1 on any divergence)")
+    _add_corpus_args(cmd_bl_verify)
+    cmd_bl_verify.set_defaults(func=_cmd_baseline_verify)
+
+    cmd_bl_promote = baseline_sub.add_parser(
+        "promote", help="approve candidate records / pending behavior "
+                        "changes (the only green path after an "
+                        "intentional change)")
+    _add_baseline_dir(cmd_bl_promote)
+    cmd_bl_promote.add_argument("semids", nargs="*", metavar="SEMID",
+                                help="baseline ids (unambiguous "
+                                     "prefixes ok)")
+    cmd_bl_promote.add_argument("--all", action="store_true",
+                                help="promote every candidate record "
+                                     "and pending change")
+    cmd_bl_promote.add_argument("--note", default="",
+                                help="audit note for the approval")
+    cmd_bl_promote.set_defaults(func=_cmd_baseline_promote)
+
+    cmd_bl_retire = baseline_sub.add_parser(
+        "retire", help="retire records for scenarios that no longer "
+                       "exist (terminal; retired records are skipped)")
+    _add_baseline_dir(cmd_bl_retire)
+    cmd_bl_retire.add_argument("semids", nargs="+", metavar="SEMID",
+                               help="baseline ids (prefixes ok)")
+    cmd_bl_retire.add_argument("--note", default="",
+                               help="audit note for the retirement")
+    cmd_bl_retire.set_defaults(func=_cmd_baseline_retire)
+
+    cmd_bl_diff = baseline_sub.add_parser(
+        "diff", help="show captured-but-unpromoted behavior changes "
+                     "(exit 1 when any are pending)")
+    _add_baseline_dir(cmd_bl_diff)
+    cmd_bl_diff.add_argument("--json", action="store_true",
+                             help="machine-readable diff")
+    cmd_bl_diff.set_defaults(func=_cmd_baseline_diff)
+
+    cmd_bl_list = baseline_sub.add_parser(
+        "list", help="show the store's records and governance state")
+    _add_baseline_dir(cmd_bl_list)
+    cmd_bl_list.add_argument("--status", default=None,
+                             choices=("candidate", "approved",
+                                      "retired"),
+                             help="only records in this status")
+    cmd_bl_list.add_argument("--json", action="store_true",
+                             help="full record documents as JSON")
+    cmd_bl_list.set_defaults(func=_cmd_baseline_list)
 
     cache = top.add_parser(
         "cache", help="simulation result-cache maintenance")

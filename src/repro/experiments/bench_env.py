@@ -41,7 +41,10 @@ from __future__ import annotations
 import os
 from typing import Any, Dict, List, Optional
 
-from repro.baselines.core_base import CoreResult
+from repro.baselines.core_base import (
+    CoreResult,
+    DEFAULT_MAX_INSTRUCTIONS,
+)
 from repro.cmp.multicore import Multicore, MulticoreResult
 from repro.config import (
     CacheConfig,
@@ -55,6 +58,11 @@ from repro.config import (
     sst_machine,
 )
 from repro.isa.program import Program
+from repro.regress.firewall import (
+    BaselineFirewall,
+    firewall_from_env,
+    multicore_key,
+)
 from repro.sim.cache import ResultCache, cache_from_env, result_key
 from repro.sim.parallel import ParallelRunner, SimTask
 from repro.workloads import commercial_suite, compute_suite, full_suite
@@ -91,7 +99,8 @@ class BenchEnv:
                  cache: Any = _UNSET,
                  jobs: Optional[int] = None,
                  timeout: Optional[float] = None,
-                 retries: Optional[int] = None):
+                 retries: Optional[int] = None,
+                 firewall: Any = _UNSET):
         self.smoke = smoke_from_env() if smoke is None else bool(smoke)
         self.max_instructions = (
             max_instructions_from_env() if max_instructions is None
@@ -106,6 +115,13 @@ class BenchEnv:
         # defers to REPRO_TASK_TIMEOUT / REPRO_TASK_RETRIES).
         self.timeout = timeout
         self.retries = retries
+        # The behavioral baseline firewall (repro.regress): every point
+        # recorded below — including cache hits — is captured into or
+        # verified against the governed baseline store.  Defaults to
+        # the REPRO_BASELINE gate (None when unset: zero overhead).
+        self.firewall: Optional[BaselineFirewall] = (
+            firewall_from_env() if firewall is _UNSET else firewall
+        )
         # One JSON-ready record per simulation point routed through
         # this environment (see _record / record_multicore).
         self.points: List[Dict[str, Any]] = []
@@ -256,18 +272,24 @@ class BenchEnv:
         """Run an interleaved multiprogrammed point and record its
         aggregate (multicore runs are not content-cacheable: the cores
         share one hierarchy, so a point is not a pure single-config
-        function)."""
+        function — but they *are* deterministic, so each gets a
+        baseline semantic ID over its full input set)."""
         result = multicore.run()
         self.points.append({
             "machine": machine,
             "program": program,
-            "key": None,
+            "key": multicore_key(multicore, DEFAULT_MAX_INSTRUCTIONS),
             "cycles": result.makespan,
             "instructions": result.total_instructions,
             "ipc": round(result.aggregate_ipc, 6),
             "wall_seconds": None,
             "perf": {"idle_quanta_skipped": result.idle_quanta_skipped},
         })
+        if self.firewall is not None:
+            self.firewall.observe_multicore(
+                multicore, result, machine=machine, program=program,
+                max_instructions=DEFAULT_MAX_INSTRUCTIONS,
+            )
         return result
 
     # -- recording -----------------------------------------------------
@@ -287,6 +309,10 @@ class BenchEnv:
             "wall_seconds": round(result.wall_seconds, 6),
             "perf": perf.as_dict() if perf is not None else None,
         })
+        if self.firewall is not None:
+            self.firewall.observe_point(
+                task.config, task.program, task.max_instructions, result
+            )
 
     def _record_ensemble(self, program: Program, result: CoreResult,
                          max_steps: int) -> None:
@@ -302,3 +328,5 @@ class BenchEnv:
             "wall_seconds": round(result.wall_seconds, 6),
             "perf": None,
         })
+        if self.firewall is not None:
+            self.firewall.observe_ensemble(program, max_steps, result)

@@ -47,11 +47,17 @@ class ExperimentEngine:
                  jobs: Optional[int] = None,
                  results_dir: Optional[pathlib.Path] = None,
                  write: bool = True,
-                 echo: bool = False):
+                 echo: bool = False,
+                 firewall: Any = _UNSET):
         self.smoke = smoke
         self.max_instructions = max_instructions
         self.cache = cache
         self.jobs = jobs
+        # Behavioral baseline firewall (repro.regress), shared across
+        # every env this engine builds so one `repro baseline` run
+        # accumulates a single capture/verify report.  _UNSET defers to
+        # the REPRO_BASELINE gate per environment.
+        self.firewall = firewall
         self.results_dir = (
             pathlib.Path(results_dir) if results_dir is not None else None
         )
@@ -63,7 +69,8 @@ class ExperimentEngine:
     def make_env(self) -> BenchEnv:
         return BenchEnv(smoke=self.smoke,
                         max_instructions=self.max_instructions,
-                        cache=self.cache, jobs=self.jobs)
+                        cache=self.cache, jobs=self.jobs,
+                        firewall=self.firewall)
 
     def run(self, spec: Union[str, ExperimentSpec]) -> Dict[str, Any]:
         """Run one experiment; returns its validated result document."""
@@ -108,6 +115,12 @@ class ExperimentEngine:
             "ok": all(outcome.passed for outcome in outcomes),
         }
         validate_result_doc(doc)
+        if env.firewall is not None:
+            # Experiment-level baseline: expectation outcomes, metric
+            # and table signatures, and the resolved point-key list —
+            # an unintended cache-key change diverges here even when
+            # every cycle count matches.
+            env.firewall.observe_experiment(doc)
         if self.write:
             write_result_doc(doc, self.results_dir)
         if self.echo:

@@ -46,6 +46,7 @@ from repro.config import SSTConfig, ensemble_enabled
 from repro.errors import ReproError
 from repro.experiments.bench_env import BenchEnv
 from repro.experiments.results import default_results_dir, perf_baseline_path
+from repro.regress.semid import dump_stable
 from repro.isa.interpreter import Interpreter
 from repro.sim.machine import Machine
 from repro.workloads import hash_join
@@ -192,7 +193,7 @@ def write_report(payload: Dict[str, Any],
         results_dir = default_results_dir()
         results_dir.mkdir(parents=True, exist_ok=True)
         path = results_dir / f"BENCH_{payload['tag']}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(dump_stable(payload))
     return path
 
 

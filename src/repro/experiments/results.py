@@ -43,6 +43,7 @@ import pathlib
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.errors import ReproError
+from repro.regress.semid import dump_stable
 
 RESULT_SCHEMA_VERSION = 1
 
@@ -198,9 +199,7 @@ def write_result_doc(doc: Dict[str, Any],
                                        results_dir)
     txt_path.parent.mkdir(parents=True, exist_ok=True)
     txt_path.write_text(doc["table"]["rendered"] + "\n")
-    json_path.write_text(
-        json.dumps(doc, indent=2, sort_keys=True) + "\n"
-    )
+    json_path.write_text(dump_stable(doc))
     return txt_path, json_path
 
 

@@ -9,11 +9,11 @@ touching a memory model directly.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.isa.instruction import Instruction
+from repro.regress.semid import line_digest
 
 WORD_SIZE = 8  # bytes per architectural word
 
@@ -93,25 +93,28 @@ class Program:
         as part of a content-addressed result-cache key (labels are
         excluded — they are disassembly cosmetics with no architectural
         effect).  The digest is memoized; programs are immutable once
-        built.
+        built.  Hashing routes through the shared semantic-ID scheme
+        (:func:`repro.regress.semid.line_digest`), bit-compatible with
+        every fingerprint minted before the unification.
         """
         if self._fingerprint is None:
-            hasher = hashlib.sha256()
-            hasher.update(f"program:{self.name}\n".encode())
-            for inst in self.instructions:
-                hasher.update(
-                    f"i:{inst.op.value}:{inst.rd}:{inst.rs1}:{inst.rs2}:"
-                    f"{inst.imm}:{inst.target}\n".encode()
-                )
-            for word in self.data:
-                hasher.update(f"d:{word.addr}:{word.value}\n".encode())
-            # Secret annotations change what the taint analysis reports,
-            # so they are part of content identity — but only when
-            # present, so every pre-existing fingerprint is unchanged.
-            for start, end in self.secret_ranges:
-                hasher.update(f"s:{start}:{end}\n".encode())
-            self._fingerprint = hasher.hexdigest()
+            self._fingerprint = line_digest(self._fingerprint_lines())
         return self._fingerprint
+
+    def _fingerprint_lines(self) -> Iterator[str]:
+        yield f"program:{self.name}"
+        for inst in self.instructions:
+            yield (
+                f"i:{inst.op.value}:{inst.rd}:{inst.rs1}:{inst.rs2}:"
+                f"{inst.imm}:{inst.target}"
+            )
+        for word in self.data:
+            yield f"d:{word.addr}:{word.value}"
+        # Secret annotations change what the taint analysis reports,
+        # so they are part of content identity — but only when
+        # present, so every pre-existing fingerprint is unchanged.
+        for start, end in self.secret_ranges:
+            yield f"s:{start}:{end}"
 
     def shape_fingerprint(self) -> str:
         """Code-*shape* identity: a SHA-256 over the instruction stream
@@ -128,13 +131,11 @@ class Program:
         Memoized like :meth:`fingerprint`.
         """
         if self._shape_fingerprint is None:
-            hasher = hashlib.sha256()
-            for inst in self.instructions:
-                hasher.update(
-                    f"s:{inst.op.value}:{inst.rd}:{inst.rs1}:{inst.rs2}:"
-                    f"{inst.target}\n".encode()
-                )
-            self._shape_fingerprint = hasher.hexdigest()
+            self._shape_fingerprint = line_digest(
+                f"s:{inst.op.value}:{inst.rd}:{inst.rs1}:{inst.rs2}:"
+                f"{inst.target}"
+                for inst in self.instructions
+            )
         return self._shape_fingerprint
 
     def label_of(self, index: int) -> Optional[str]:

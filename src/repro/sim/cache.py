@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-import hashlib
 import json
 import os
 import pathlib
@@ -49,6 +48,7 @@ from repro.core.store_buffer import SBStats
 from repro.core.timing import PerfCounters
 from repro.errors import ReproError
 from repro.isa.interpreter import ArchState, InterpreterStats
+from repro.regress.semid import SemanticIdError, canonicalize, digest_material
 from repro.isa.program import Program
 from repro.memory.cache import CacheStats
 from repro.memory.hierarchy import HierarchyStats
@@ -69,67 +69,41 @@ DEFAULT_CACHE_DIR = (
 )
 
 
-class CacheCodecError(ReproError):
-    """A value outside the serializable closed set of result types."""
+class CacheCodecError(SemanticIdError):
+    """A value outside the serializable closed set of result types.
 
-
-# ---------------------------------------------------------------------------
-# Canonical key material.
-# ---------------------------------------------------------------------------
-
-
-def canonicalize(value: Any) -> Any:
-    """A JSON-stable, type-prefixed canonical form of ``value``.
-
-    Primitives carry their type name so cross-type collisions are
-    impossible; dataclasses and dicts canonicalize recursively with
-    sorted keys.  The output feeds ``json.dumps(..., sort_keys=True)``.
+    Subclasses :class:`~repro.regress.semid.SemanticIdError` so callers
+    guarding a store/key computation can catch the shared parent: key
+    canonicalization failures (raised by ``semid``) and codec failures
+    (raised here) are the same "this value cannot be content-addressed"
+    condition.
     """
-    if value is None:
-        return "none"
-    if isinstance(value, bool):  # before int: bool is an int subclass
-        return f"bool:{value}"
-    if isinstance(value, int):
-        return f"int:{value}"
-    if isinstance(value, float):
-        return f"float:{value!r}"
-    if isinstance(value, str):
-        return f"str:{value}"
-    if isinstance(value, enum.Enum):
-        return f"enum:{type(value).__name__}:{value.value}"
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        rendered = {
-            field.name: canonicalize(getattr(value, field.name))
-            for field in dataclasses.fields(value)
-            if field.init  # derived (init=False) fields restate init ones
-        }
-        rendered["__type__"] = type(value).__name__
-        return rendered
-    if isinstance(value, dict):
-        return {
-            json.dumps(canonicalize(key), sort_keys=True):
-                canonicalize(item)
-            for key, item in value.items()
-        }
-    if isinstance(value, (list, tuple)):
-        return [canonicalize(item) for item in value]
-    raise CacheCodecError(
-        f"cannot canonicalize {type(value).__name__} for a cache key"
-    )
+
+
+# ---------------------------------------------------------------------------
+# Canonical key material — the shared semantic-ID scheme.
+#
+# ``canonicalize`` lives in :mod:`repro.regress.semid` now (re-exported
+# here for compatibility): the cache key, the result documents, and the
+# baseline firewall all hash through one documented canonicalization,
+# and the key format below is bit-compatible with every entry written
+# before the unification.
+# ---------------------------------------------------------------------------
 
 
 def result_key(config: Any, program: Program, max_instructions: int) -> str:
-    """The content hash addressing one simulation point."""
-    material = {
+    """The content hash addressing one simulation point.
+
+    Doubles as the point's *semantic ID* in the baseline firewall
+    (:mod:`repro.regress`): the cache and the firewall agree on input
+    identity by construction.
+    """
+    return digest_material({
         "schema": SIM_SCHEMA_VERSION,
         "config": canonicalize(config),
         "program": program.fingerprint(),
         "max_instructions": max_instructions,
-    }
-    digest = hashlib.sha256(
-        json.dumps(material, sort_keys=True).encode()
-    )
-    return digest.hexdigest()
+    })
 
 
 # ---------------------------------------------------------------------------

@@ -36,11 +36,11 @@ fault-free run (enforced by ``tests/sim/test_faults.py``).
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import os
 from typing import Dict, Optional
 
 from repro.errors import ConfigError
+from repro.regress.semid import deterministic_fraction
 
 ENV_VAR = "REPRO_FAULT_INJECT"
 
@@ -53,10 +53,10 @@ EVERY_ATTEMPT = -1
 HANG_SECONDS = 3600.0
 
 
-def _fraction(material: str) -> float:
-    """A deterministic [0, 1) fraction derived from ``material``."""
-    digest = hashlib.sha256(material.encode()).digest()
-    return int.from_bytes(digest[:8], "big") / 2 ** 64
+# The deterministic [0, 1) fraction now lives in the shared semantic-ID
+# module; the local alias keeps the planner's call sites (and tests)
+# stable.
+_fraction = deterministic_fraction
 
 
 @dataclasses.dataclass(frozen=True)

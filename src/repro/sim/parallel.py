@@ -52,7 +52,8 @@ from repro.baselines.core_base import CoreResult, DEFAULT_MAX_INSTRUCTIONS
 from repro.config import MachineConfig
 from repro.errors import ConfigError, ReproError
 from repro.isa.program import Program
-from repro.sim.cache import CacheCodecError, ResultCache
+from repro.regress.semid import SemanticIdError
+from repro.sim.cache import ResultCache
 from repro.sim.faults import fault_plan_from_env
 from repro.sim.resilience import (
     KIND_CACHE_CORRUPT,
@@ -307,7 +308,7 @@ class ParallelRunner:
         )
         try:
             self.cache.store(key, outcome.result)
-        except (CacheCodecError, OSError) as exc:
+        except (SemanticIdError, OSError) as exc:
             warnings.warn(
                 f"result cache store failed for {outcome.task.label} "
                 f"({type(exc).__name__}: {exc}); result kept in memory, "

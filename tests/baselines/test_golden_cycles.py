@@ -10,6 +10,12 @@ these numbers is a timing-model regression, not tuning.
 
 A multicore golden pins the quantum-interleaved scheduler the same way
 (the quantum-skip fast-forward must not move a single access).
+
+The same scenarios also ride the behavioral baseline firewall
+(:mod:`repro.regress`): every golden run is captured into a governed
+store, promoted, and re-verified — so the legacy JSON assertions and
+the firewall must agree with each other, and a doctored baseline
+record must turn verification red.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import pathlib
 
 import pytest
 
+from repro.baselines.core_base import DEFAULT_MAX_INSTRUCTIONS
 from repro.cmp.multicore import Multicore
 from repro.config import (
     HierarchyConfig,
@@ -29,6 +36,13 @@ from repro.config import (
     scout_machine,
     sst_machine,
 )
+from repro.regress.firewall import (
+    BaselineDivergenceError,
+    BaselineFirewall,
+    multicore_key,
+)
+from repro.regress.store import BaselineStore
+from repro.sim.cache import result_key
 from repro.sim.machine import Machine
 from repro.workloads import full_suite
 
@@ -52,6 +66,28 @@ def tiny_suite():
     return {program.name: program for program in full_suite("tiny")}
 
 
+@pytest.fixture(scope="module")
+def core_runs(tiny_suite):
+    """(config, program, result) per golden key — simulated once for
+    both the legacy JSON assertions and the firewall round-trip."""
+    runs = {}
+    for key in GOLDEN["cores"]:
+        machine_name, workload = key.split("/")
+        config = MACHINES[machine_name]()
+        program = tiny_suite[workload]
+        runs[key] = (config, program, Machine(config).run(program))
+    return runs
+
+
+@pytest.fixture(scope="module")
+def multicore_run(tiny_suite):
+    multicore = Multicore(
+        HierarchyConfig(), [SSTConfig()] * len(MULTICORE_PROGRAMS),
+        [tiny_suite[name] for name in MULTICORE_PROGRAMS],
+    )
+    return multicore, multicore.run()
+
+
 def _reg_crc(result) -> int:
     """Order-weighted checksum of the final architectural registers."""
     return sum(value * (index + 1)
@@ -73,17 +109,13 @@ def _observed(result) -> dict:
 
 
 @pytest.mark.parametrize("key", sorted(GOLDEN["cores"]))
-def test_core_golden(key, tiny_suite):
-    machine_name, workload = key.split("/")
-    result = Machine(MACHINES[machine_name]()).run(tiny_suite[workload])
+def test_core_golden(key, core_runs):
+    _, _, result = core_runs[key]
     assert _observed(result) == GOLDEN["cores"][key]
 
 
-def test_multicore_golden(tiny_suite):
-    result = Multicore(
-        HierarchyConfig(), [SSTConfig()] * len(MULTICORE_PROGRAMS),
-        [tiny_suite[name] for name in MULTICORE_PROGRAMS],
-    ).run()
+def test_multicore_golden(multicore_run):
+    _, result = multicore_run
     observed = {
         "makespan": result.makespan,
         "aggregate_ipc": round(result.aggregate_ipc, 12),
@@ -94,3 +126,97 @@ def test_multicore_golden(tiny_suite):
         ],
     }
     assert observed == GOLDEN["multicore"]
+
+
+# ---------------------------------------------------------------------------
+# The same scenarios through the baseline firewall.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def golden_store(tmp_path_factory, core_runs, multicore_run):
+    """Every golden scenario captured into a governed store and
+    promoted to ``approved``."""
+    store = BaselineStore(tmp_path_factory.mktemp("golden-baselines"))
+    firewall = BaselineFirewall(store, mode="capture", note="golden")
+    for config, program, result in core_runs.values():
+        action = firewall.observe_point(
+            config, program, DEFAULT_MAX_INSTRUCTIONS, result)
+        assert action == "captured"
+    multicore, result = multicore_run
+    assert firewall.observe_multicore(
+        multicore, result, machine="multicore", program="mix4",
+        max_instructions=DEFAULT_MAX_INSTRUCTIONS,
+    ) == "captured"
+    for semid in store.semids():
+        store.promote(semid, note="golden corpus")
+    return store
+
+
+def test_firewall_verifies_golden_runs(golden_store, core_runs,
+                                       multicore_run):
+    firewall = BaselineFirewall(golden_store, mode="verify")
+    for config, program, result in core_runs.values():
+        assert firewall.observe_point(
+            config, program, DEFAULT_MAX_INSTRUCTIONS, result
+        ) == "verified"
+    multicore, result = multicore_run
+    assert firewall.observe_multicore(
+        multicore, result, machine="multicore", program="mix4",
+        max_instructions=DEFAULT_MAX_INSTRUCTIONS,
+    ) == "verified"
+    assert firewall.stats.divergent == 0
+    assert firewall.stats.verified == len(core_runs) + 1
+
+
+def test_firewall_records_match_golden_json(golden_store, core_runs):
+    """The governed records and the legacy JSON pin the same numbers:
+    the two regression nets cannot drift apart silently."""
+    for key, (config, program, _) in core_runs.items():
+        record = golden_store.get(
+            result_key(config, program, DEFAULT_MAX_INSTRUCTIONS))
+        assert record.behavior["cycles"] == GOLDEN["cores"][key]["cycles"]
+        assert (record.behavior["instructions"]
+                == GOLDEN["cores"][key]["instructions"])
+        assert record.status == "approved"
+
+
+def test_firewall_multicore_record_matches_golden(golden_store,
+                                                  multicore_run):
+    multicore, _ = multicore_run
+    record = golden_store.get(
+        multicore_key(multicore, DEFAULT_MAX_INSTRUCTIONS))
+    golden = GOLDEN["multicore"]
+    assert record.behavior["makespan"] == golden["makespan"]
+    assert record.behavior["aggregate_ipc"] == golden["aggregate_ipc"]
+    assert [
+        (core["core"], core["cycles"], core["instructions"])
+        for core in record.behavior["per_core"]
+    ] == [
+        (core["name"], core["cycles"], core["instructions"])
+        for core in golden["per_core"]
+    ]
+
+
+def test_firewall_catches_doctored_golden(tmp_path, core_runs):
+    """A doctored cycle count in an approved record turns strict
+    verification red."""
+    config, program, result = next(iter(core_runs.values()))
+    store = BaselineStore(tmp_path / "baselines")
+    capture = BaselineFirewall(store, mode="capture")
+    semid = result_key(config, program, DEFAULT_MAX_INSTRUCTIONS)
+    capture.observe_point(config, program, DEFAULT_MAX_INSTRUCTIONS,
+                          result)
+    store.promote(semid)
+
+    record = store.get(semid)
+    record.behavior["cycles"] += 1
+    record.log("doctor", "seeded mutation")
+    store.save(record)
+
+    verify = BaselineFirewall(store, mode="verify")
+    with pytest.raises(BaselineDivergenceError) as exc_info:
+        verify.observe_point(config, program, DEFAULT_MAX_INSTRUCTIONS,
+                             result)
+    assert "cycles" in exc_info.value.divergence.fields
+    assert "promote" in str(exc_info.value)
