@@ -66,6 +66,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "aggregate speedup over the scalar "
                              "interpreter (default: the package's "
                              "loose gate)")
+    parser.add_argument("--timing-ensemble-min-speedup", type=float,
+                        default=None, metavar="RATIO",
+                        help="--perf-smoke floor for the N=64 batched "
+                             "timing-ensemble aggregate speedup over "
+                             "lane-by-lane scalar in-order runs "
+                             "(default: the package's gate)")
     parser.add_argument("--sanitize", action="store_true",
                         help="run the smoke suite with REPRO_SANITIZE=1 "
                              "(per-event invariant checking; implies "
@@ -79,6 +85,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         kwargs = {"tolerance": args.perf_tolerance}
         if args.ensemble_min_speedup is not None:
             kwargs["ensemble_min_speedup"] = args.ensemble_min_speedup
+        if args.timing_ensemble_min_speedup is not None:
+            kwargs["timing_min_speedup"] = (
+                args.timing_ensemble_min_speedup
+            )
         return perf_report.run_perf_smoke(**kwargs)
 
     forwarded = ["experiments", "run"]

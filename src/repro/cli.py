@@ -90,6 +90,8 @@ import time
 import traceback
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.config import ConfigError, env_int
+from repro.errors import ReproError
 from repro.experiments import (
     ExperimentEngine,
     ResultSchemaError,
@@ -183,7 +185,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     jobs = args.jobs
     if jobs is None:
-        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+        try:
+            jobs = env_int("REPRO_JOBS", 1)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if jobs <= 0:
         jobs = multiprocessing.cpu_count()
     jobs = min(jobs, len(specs))
@@ -346,10 +352,23 @@ def _cmd_ensemble_bench(args: argparse.Namespace) -> int:
               "(install the 'ensemble' extra: pip install "
               "'repro[ensemble]')", file=sys.stderr)
         return 2
-    section = perf.measure_ensemble(
-        lanes=args.lanes, scale=args.scale,
-        workloads=args.workloads or None, backend=args.backend,
-    )
+    try:
+        # args.workloads is None when the flag is absent (all
+        # workloads) and [] when given empty — the latter is a
+        # selection error the measurement layer diagnoses.
+        if args.timing:
+            section = perf.measure_timing_ensemble(
+                lanes=args.lanes, scale=args.scale,
+                workloads=args.workloads,
+            )
+        else:
+            section = perf.measure_ensemble(
+                lanes=args.lanes, scale=args.scale,
+                workloads=args.workloads, backend=args.backend,
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(section, indent=2, sort_keys=True))
         return 0 if section.get("available") else 2
@@ -357,8 +376,10 @@ def _cmd_ensemble_bench(args: argparse.Namespace) -> int:
         print(f"ensemble bench unavailable: "
               f"{section.get('reason', 'unknown')}", file=sys.stderr)
         return 2
+    mode = "timing (in-order)" if args.timing else "functional"
     print(f"ensemble bench: N={section['lanes']} lanes, "
-          f"{section['scale']} scale, {section['backend']} backend")
+          f"{section['scale']} scale, {section['backend']} backend, "
+          f"{mode}")
     print(f"{'workload':<18s} {'insts':>10s} {'scalar s':>9s} "
           f"{'ensemble s':>11s} {'speedup':>8s}")
     for name, row in section["workloads"].items():
@@ -895,6 +916,10 @@ def build_parser() -> argparse.ArgumentParser:
                                choices=("numpy", "python"),
                                help="force a backend (default: "
                                     "auto-select)")
+    cmd_ens_bench.add_argument("--timing", action="store_true",
+                               help="bench the lane-batched *timing* "
+                                    "ensemble (in-order core) instead "
+                                    "of the functional interpreter")
     cmd_ens_bench.add_argument("--json", action="store_true",
                                help="machine-readable output")
     cmd_ens_bench.set_defaults(func=_cmd_ensemble_bench)

@@ -411,8 +411,10 @@ def ooo_machine(hierarchy: HierarchyConfig = HierarchyConfig(),
 # Runtime environment knobs.
 #
 # The simulator reads a small set of REPRO_* environment variables; the
-# knob constants and parsers for the vectorized ensemble backend live
-# here so there is one documented home for them.  The full set:
+# knob constants and shared parsers live here so there is one documented
+# home for them.  The full set (tests/config/test_env_registry.py greps
+# this block against the actual ``os.environ.get("REPRO_...`` call
+# sites, so keep it complete):
 #
 #   REPRO_JOBS              worker-pool size for ParallelRunner
 #   REPRO_CACHE             "0" disables the result cache
@@ -424,36 +426,83 @@ def ooo_machine(hierarchy: HierarchyConfig = HierarchyConfig(),
 #                           per-lane interpreter loop)
 #   REPRO_ENSEMBLE_LANES    lane-chunk width for run_ensemble
 #                           (default 64)
+#   REPRO_TIMING_ENSEMBLE   "0" disables lane-batched *timing*
+#                           simulation (repro.sim.timing_ensemble);
+#                           eligible task groups then run lane-by-lane
+#                           through the scalar cores
 #   REPRO_SANITIZE          "1" enables the invariant sanitizer
+#   REPRO_TAINT             "1" enables the speculative-leak taint
+#                           tracker (and the e19 gadget gate)
+#   REPRO_BASELINE          behavioral-firewall observation mode
+#                           (capture/verify) for every simulated point
+#   REPRO_BASELINE_DIR      baseline-record directory override
 #   REPRO_BENCH_SMOKE       "1" shrinks benchmarks to smoke scale
 #   REPRO_BENCH_MAX_INSTRUCTIONS   per-run instruction budget cap
+#   REPRO_RESULTS_DIR       benchmark-results directory override
+#   REPRO_PERF_BASELINE     committed perf-baseline snapshot override
 #   REPRO_TASK_TIMEOUT / REPRO_TASK_RETRIES   parallel-engine limits
 #   REPRO_FAULT_INJECT      deterministic fault-injection spec
 # ---------------------------------------------------------------------------
 
 ENSEMBLE_ENV = "REPRO_ENSEMBLE"
 ENSEMBLE_LANES_ENV = "REPRO_ENSEMBLE_LANES"
+TIMING_ENSEMBLE_ENV = "REPRO_TIMING_ENSEMBLE"
 DEFAULT_ENSEMBLE_LANES = 64
+
+
+def env_int(name: str, default: int) -> int:
+    """Parse an integer REPRO_* knob, naming the variable on error.
+
+    Blank values (``REPRO_JOBS=""``) fall back to ``default`` like an
+    unset variable; anything else must parse as an integer or the
+    error says *which* knob was malformed instead of a bare
+    ``ValueError`` traceback.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+
+
+def env_flag(name: str, default: bool = True) -> bool:
+    """A REPRO_* on/off switch.
+
+    The library's switch convention is asymmetric by default: kill
+    switches (default True) are off only at the literal ``"0"``, while
+    opt-ins (default False) are on only at ``"1"``/``"on"``/``"true"``.
+    This helper encodes both so call sites cannot drift.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    if default:
+        return raw != "0"
+    return raw.strip().lower() in ("1", "on", "true")
 
 
 def ensemble_enabled() -> bool:
     """True unless ``REPRO_ENSEMBLE=0`` — the ensemble kill switch,
     mirroring ``REPRO_BLOCK_DISPATCH``.  When off, ensemble entry
     points run every lane through the scalar golden interpreter."""
-    return os.environ.get(ENSEMBLE_ENV, "1") != "0"
+    return env_flag(ENSEMBLE_ENV, default=True)
+
+
+def timing_ensemble_enabled() -> bool:
+    """True unless ``REPRO_TIMING_ENSEMBLE=0`` — the kill switch for
+    lane-batched timing simulation (:mod:`repro.sim.timing_ensemble`).
+    When off, eligible task groups run lane-by-lane through the scalar
+    timing cores instead."""
+    return env_flag(TIMING_ENSEMBLE_ENV, default=True)
 
 
 def ensemble_lanes() -> int:
     """Lane-chunk width for ensemble execution (``REPRO_ENSEMBLE_LANES``,
     default 64): cold lanes are vectorized in chunks of this many."""
-    raw = os.environ.get(ENSEMBLE_LANES_ENV)
-    if raw is None:
-        return DEFAULT_ENSEMBLE_LANES
-    try:
-        lanes = int(raw)
-    except ValueError:
-        raise ConfigError(
-            f"{ENSEMBLE_LANES_ENV} must be an integer, got {raw!r}"
-        ) from None
+    lanes = env_int(ENSEMBLE_LANES_ENV, DEFAULT_ENSEMBLE_LANES)
     _require(lanes >= 1, f"{ENSEMBLE_LANES_ENV} must be >= 1, got {lanes}")
     return lanes

@@ -52,6 +52,8 @@ from repro.config import (
     HierarchyConfig,
     MachineConfig,
     ea_machine,
+    env_flag,
+    env_int,
     inorder_machine,
     ooo_machine,
     scout_machine,
@@ -79,16 +81,14 @@ _UNSET = object()
 
 def smoke_from_env() -> bool:
     """The ``REPRO_BENCH_SMOKE`` gate."""
-    return os.environ.get("REPRO_BENCH_SMOKE", "").lower() in (
-        "1", "on", "true",
-    )
+    return env_flag("REPRO_BENCH_SMOKE", default=False)
 
 
 def max_instructions_from_env() -> int:
     """The ``REPRO_BENCH_MAX_INSTRUCTIONS`` budget (default 50M)."""
-    return int(os.environ.get(
+    return env_int(
         "REPRO_BENCH_MAX_INSTRUCTIONS", DEFAULT_BENCH_MAX_INSTRUCTIONS
-    ))
+    )
 
 
 class BenchEnv:

@@ -42,7 +42,12 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.cmp import Multicore
-from repro.config import SSTConfig, ensemble_enabled
+from repro.config import (
+    SSTConfig,
+    ensemble_enabled,
+    inorder_machine,
+    timing_ensemble_enabled,
+)
 from repro.errors import ReproError
 from repro.experiments.bench_env import BenchEnv
 from repro.experiments.results import default_results_dir, perf_baseline_path
@@ -64,6 +69,15 @@ DEFAULT_PERF_TOLERANCE = 0.30
 # while still catching a vectorization regression back to ~1x.
 DEFAULT_ENSEMBLE_MIN_SPEEDUP = 1.5
 
+# Minimum aggregate speedup of the N=64 batched in-order *timing*
+# ensemble over lane-by-lane scalar Machine runs on its gate workload
+# (see measure_timing_ensemble for why the gate is compute-matmul).
+# Measured ~2.2-2.6x on the reference host.
+DEFAULT_TIMING_ENSEMBLE_MIN_SPEEDUP = 2.0
+
+# The timing-ensemble gate workload set (see measure_timing_ensemble).
+DEFAULT_TIMING_WORKLOADS = ("compute-matmul",)
+
 
 # ---------------------------------------------------------------------------
 # Entry extraction — CoreResult -> flat JSON row.
@@ -72,15 +86,23 @@ DEFAULT_ENSEMBLE_MIN_SPEEDUP = 1.5
 
 def perf_entry(result: Any, machine: str = "",
                wall_seconds: Optional[float] = None) -> Dict[str, Any]:
-    """One snapshot row for a single-core :class:`CoreResult`."""
-    wall = wall_seconds if wall_seconds is not None else result.wall_seconds
+    """One snapshot row for a single-core :class:`CoreResult`.
+
+    Rates are derived from the *stored* (rounded) wall, so every rate
+    in the JSON is reproducible from the JSON alone — re-dividing the
+    committed ``instructions`` by the committed ``wall_seconds`` gives
+    back exactly the committed ``insts_per_host_second``.
+    """
+    wall = round(
+        wall_seconds if wall_seconds is not None else result.wall_seconds, 4
+    )
     entry: Dict[str, Any] = {
         "machine": machine or result.core_name,
         "program": result.program_name,
         "cycles": result.cycles,
         "instructions": result.instructions,
         "ipc": round(result.ipc, 4),
-        "wall_seconds": round(wall, 4),
+        "wall_seconds": wall,
         "insts_per_host_second": (
             round(result.instructions / wall) if wall > 0 else None
         ),
@@ -108,6 +130,10 @@ def aggregate(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
     every machine).  ``total`` is therefore *not* the mean of the
     per-machine rates — slow machines weigh in proportionally to the
     host time they consume.
+
+    Like :func:`perf_entry`, every rate is computed from the rounded
+    wall that is actually stored (machine walls are rounded before the
+    total sums them), so the committed JSON reproduces its own rates.
     """
     machines: Dict[str, Dict[str, float]] = {}
     for entry in entries:
@@ -125,9 +151,9 @@ def aggregate(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
     total_insts = 0
     total_wall = 0.0
     for name, agg in machines.items():
+        agg["wall_seconds"] = round(agg["wall_seconds"], 4)
         total_insts += agg["instructions"]
         total_wall += agg["wall_seconds"]
-        agg["wall_seconds"] = round(agg["wall_seconds"], 4)
         agg["insts_per_host_second"] = (
             round(agg["instructions"] / agg["wall_seconds"])
             if agg["wall_seconds"] > 0 else None
@@ -136,11 +162,12 @@ def aggregate(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
         agg["skip_fraction"] = (
             round(agg["cycles_skipped"] / seen, 4) if seen else 0.0
         )
+    total_wall = round(total_wall, 4)
     return {
         "machines": machines,
         "total": {
             "instructions": total_insts,
-            "wall_seconds": round(total_wall, 4),
+            "wall_seconds": total_wall,
             "insts_per_host_second": (
                 round(total_insts / total_wall) if total_wall > 0 else None
             ),
@@ -235,14 +262,14 @@ def measure(tag: str = "report") -> Dict[str, Any]:
     cmp_result = Multicore(
         hierarchy, [SSTConfig(checkpoints=2)] * cores, cmp_programs
     ).run(max_instructions=env.max_instructions)
-    cmp_wall = time.perf_counter() - started
+    cmp_wall = round(time.perf_counter() - started, 4)
     cmp_entry = {
         "machine": f"sst-cmp{cores}",
         "program": f"db-hashjoin x{cores}",
         "cycles": cmp_result.makespan,
         "instructions": cmp_result.total_instructions,
         "ipc": round(cmp_result.aggregate_ipc, 4),
-        "wall_seconds": round(cmp_wall, 4),
+        "wall_seconds": cmp_wall,
         "insts_per_host_second": (
             round(cmp_result.total_instructions / cmp_wall)
             if cmp_wall > 0 else None
@@ -265,7 +292,30 @@ def measure(tag: str = "report") -> Dict[str, Any]:
         "entries": entries,
         "aggregate": single_aggregate,
         "ensemble": measure_ensemble(),
+        "timing_ensemble": measure_timing_ensemble(),
     }
+
+
+def _select_workloads(scale: str, workloads: Optional[List[str]]
+                      ) -> Dict[str, Dict[str, Any]]:
+    """The ``scale`` suite narrowed to ``workloads``, validated.
+
+    An empty selection or unknown workload names raise
+    :class:`ReproError` (which the CLI maps to exit code 2) instead of
+    surfacing as a bare ``KeyError`` from inside the measurement loop.
+    """
+    params = suite_params(scale)
+    if workloads is None:
+        return params
+    if not workloads:
+        raise ReproError("no workloads selected")
+    unknown = sorted(name for name in workloads if name not in params)
+    if unknown:
+        raise ReproError(
+            f"unknown workload(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(params))}"
+        )
+    return {name: params[name] for name in workloads}
 
 
 def measure_ensemble(lanes: int = 64, scale: str = "tiny",
@@ -303,9 +353,7 @@ def measure_ensemble(lanes: int = 64, scale: str = "tiny",
         except ensemble.EnsembleDependencyError as exc:
             return {"available": False, "reason": str(exc), **base}
 
-    params = suite_params(scale)
-    if workloads is not None:
-        params = {name: params[name] for name in workloads}
+    params = _select_workloads(scale, workloads)
 
     rows: Dict[str, Any] = {}
     total_insts = 0
@@ -324,13 +372,15 @@ def measure_ensemble(lanes: int = 64, scale: str = "tiny",
             interp = Interpreter(program)
             interp.run()
             insts += interp.stats.instructions
-        scalar_wall = time.perf_counter() - started
+        # Rounded before use so the stored walls reproduce the stored
+        # speedups (same contract as perf_entry/aggregate).
+        scalar_wall = round(time.perf_counter() - started, 4)
 
         started = time.perf_counter()
         outcomes = ensemble.EnsembleInterpreter(
             programs, backend=backend
         ).run()
-        vector_wall = time.perf_counter() - started
+        vector_wall = round(time.perf_counter() - started, 4)
         vector_insts = sum(o.stats.instructions for o in outcomes)
         if vector_insts != insts:  # pragma: no cover - differential guard
             raise ReproError(
@@ -343,8 +393,8 @@ def measure_ensemble(lanes: int = 64, scale: str = "tiny",
         total_vector += vector_wall
         rows[name] = {
             "instructions": insts,
-            "scalar_wall_seconds": round(scalar_wall, 4),
-            "ensemble_wall_seconds": round(vector_wall, 4),
+            "scalar_wall_seconds": scalar_wall,
+            "ensemble_wall_seconds": vector_wall,
             "speedup": (
                 round(scalar_wall / vector_wall, 4) if vector_wall > 0
                 else None
@@ -354,6 +404,117 @@ def measure_ensemble(lanes: int = 64, scale: str = "tiny",
     return {
         "available": True,
         "backend": backend,
+        **base,
+        "workloads": rows,
+        "aggregate": {
+            "instructions": total_insts,
+            "scalar_insts_per_host_second": (
+                round(total_insts / total_scalar) if total_scalar > 0
+                else None
+            ),
+            "ensemble_insts_per_host_second": (
+                round(total_insts / total_vector) if total_vector > 0
+                else None
+            ),
+            "speedup": (
+                round(total_scalar / total_vector, 4) if total_vector > 0
+                else None
+            ),
+        },
+    }
+
+
+def measure_timing_ensemble(lanes: int = 64, scale: str = "tiny",
+                            workloads: Optional[List[str]] = None
+                            ) -> Dict[str, Any]:
+    """Batched in-order *timing* ensemble vs lane-by-lane scalar runs.
+
+    The timing analogue of :func:`measure_ensemble`: for each workload,
+    ``lanes`` seed-varied instances run one at a time through scalar
+    :class:`~repro.sim.machine.Machine` in-order simulations, then once
+    through :func:`repro.sim.timing_ensemble.run_timing_ensemble`, with
+    every lane's batched :class:`CoreResult` differentially checked
+    against its scalar twin (bit-identity is the engine's contract, so
+    any mismatch is a hard :class:`ReproError`, not a statistic).
+
+    The default workload set is ``compute-matmul`` only, on purpose:
+    the lockstep engine's win is the vectorized issue/ALU/L1-hit path,
+    and the hit-friendly matmul kernel is representative of where
+    parameter sweeps spend their time.  Miss-dominated workloads route
+    most accesses through the *same* scalar miss machinery in both
+    runs and sit near 1x by construction — gating on them would track
+    host noise, not the vectorization.  Walls are rounded before use so
+    the stored numbers reproduce the stored speedups.
+
+    Returns ``{"available": False, "reason": ...}`` when numpy is
+    missing or the engine is disabled/ineligible, so snapshots stay
+    writable everywhere.
+    """
+    from repro.sim import ensemble, timing_ensemble
+
+    base = {"lanes": lanes, "scale": scale}
+    if not ensemble.numpy_available():
+        return {"available": False, "reason": "numpy not installed", **base}
+    config = inorder_machine()
+    if not timing_ensemble.timing_ensemble_eligible(config):
+        reason = (
+            "REPRO_TIMING_ENSEMBLE=0" if not timing_ensemble_enabled()
+            else "sanitizer or fault-injection hooks are active"
+        )
+        return {"available": False, "reason": reason, **base}
+
+    if workloads is None:
+        workloads = list(DEFAULT_TIMING_WORKLOADS)
+    params = _select_workloads(scale, workloads)
+
+    rows: Dict[str, Any] = {}
+    total_insts = 0
+    total_scalar = 0.0
+    total_vector = 0.0
+    for name, kwargs in params.items():
+        programs = [
+            WORKLOAD_FACTORIES[name](
+                **kwargs, seed=300 + lane, name=f"{name}@lane{lane}"
+            )
+            for lane in range(lanes)
+        ]
+        started = time.perf_counter()
+        scalar_results = [
+            Machine(config).run(program) for program in programs
+        ]
+        scalar_wall = round(time.perf_counter() - started, 4)
+        insts = sum(result.instructions for result in scalar_results)
+
+        started = time.perf_counter()
+        outcomes = timing_ensemble.run_timing_ensemble(config, programs)
+        vector_wall = round(time.perf_counter() - started, 4)
+        for outcome, scalar in zip(outcomes, scalar_results):
+            # pragma-free differential guard: equality covers cycles,
+            # architectural state and the full extra payload
+            # (wall_seconds is excluded from CoreResult equality).
+            if outcome.result != scalar:
+                raise ReproError(
+                    "timing ensemble diverged from the scalar in-order "
+                    f"core on {scalar.program_name!r}"
+                )
+
+        total_insts += insts
+        total_scalar += scalar_wall
+        total_vector += vector_wall
+        rows[name] = {
+            "instructions": insts,
+            "scalar_wall_seconds": scalar_wall,
+            "ensemble_wall_seconds": vector_wall,
+            "speedup": (
+                round(scalar_wall / vector_wall, 4) if vector_wall > 0
+                else None
+            ),
+        }
+
+    return {
+        "available": True,
+        "backend": "numpy",
+        "machine": config.name,
         **base,
         "workloads": rows,
         "aggregate": {
@@ -424,6 +585,21 @@ def render(payload: Dict[str, Any]) -> str:
             lines.append(
                 f"ensemble: unavailable ({ens.get('reason', 'unknown')})"
             )
+    tens = payload.get("timing_ensemble")
+    if isinstance(tens, dict):
+        if tens.get("available"):
+            agg = tens["aggregate"]
+            rate = agg["ensemble_insts_per_host_second"]
+            lines.append(
+                f"timing ensemble N={tens['lanes']} ({tens['scale']}): "
+                f"{rate if rate is not None else '-'} insts/host-sec, "
+                f"{agg['speedup']:.2f}x vs scalar"
+            )
+        else:
+            lines.append(
+                f"timing ensemble: unavailable "
+                f"({tens.get('reason', 'unknown')})"
+            )
     return "\n".join(lines)
 
 
@@ -434,7 +610,9 @@ def render(payload: Dict[str, Any]) -> str:
 
 def run_perf_smoke(tolerance: float = DEFAULT_PERF_TOLERANCE,
                    baseline_path: Optional[pathlib.Path] = None,
-                   ensemble_min_speedup: float = DEFAULT_ENSEMBLE_MIN_SPEEDUP
+                   ensemble_min_speedup: float = DEFAULT_ENSEMBLE_MIN_SPEEDUP,
+                   timing_min_speedup: float = (
+                       DEFAULT_TIMING_ENSEMBLE_MIN_SPEEDUP)
                    ) -> int:
     """Measure simulator throughput (tiny scale) against the committed
     ``BENCH_smoke.json`` baseline.
@@ -450,7 +628,8 @@ def run_perf_smoke(tolerance: float = DEFAULT_PERF_TOLERANCE,
     aggregate ensemble-vs-scalar speedup is additionally gated against
     ``ensemble_min_speedup`` (a loose absolute floor, not a baseline
     ratio — the scalar reference is re-measured in the same run, which
-    cancels out host speed).
+    cancels out host speed).  The timing-ensemble section is gated the
+    same way against ``timing_min_speedup``.
     """
     os.environ["REPRO_BENCH_SMOKE"] = "1"
     if baseline_path is None:
@@ -473,6 +652,14 @@ def run_perf_smoke(tolerance: float = DEFAULT_PERF_TOLERANCE,
             print(f"FAIL: ensemble aggregate speedup {ens_speedup:.2f}x "
                   f"is below the {ensemble_min_speedup:.2f}x floor",
                   file=sys.stderr)
+            status = 1
+    tens = payload.get("timing_ensemble") or {}
+    if tens.get("available"):
+        t_speedup = tens["aggregate"]["speedup"]
+        if t_speedup is not None and t_speedup < timing_min_speedup:
+            print(f"FAIL: timing-ensemble aggregate speedup "
+                  f"{t_speedup:.2f}x is below the "
+                  f"{timing_min_speedup:.2f}x floor", file=sys.stderr)
             status = 1
 
     if baseline is None:

@@ -16,7 +16,7 @@ I-streams and D-streams compete in the shared L2 without aliasing.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Set
+from typing import Any, Optional, Set, Tuple
 
 import dataclasses as _dataclasses
 
@@ -64,11 +64,20 @@ class HierarchyStats:
 class MemoryHierarchy:
     """One core's view of the memory system."""
 
-    def __init__(self, config: HierarchyConfig):
+    def __init__(self, config: HierarchyConfig, *,
+                 caches: Optional[Tuple[Any, Any, Any]] = None):
         self.config = config
-        self.l1d = Cache(config.l1d, name="L1D")
-        self.l1i = Cache(config.l1i, name="L1I")
-        self.l2 = Cache(config.l2, name="L2")
+        if caches is None:
+            self.l1d = Cache(config.l1d, name="L1D")
+            self.l1i = Cache(config.l1i, name="L1I")
+            self.l2 = Cache(config.l2, name="L2")
+        else:
+            # Injected tag stores (duck-typed Cache facades).  The
+            # timing ensemble hands each per-lane hierarchy a
+            # LaneCacheView triple so this class's miss/merge/prefetch
+            # machinery runs unmodified against shared lane-axis tag
+            # matrices.
+            self.l1d, self.l1i, self.l2 = caches
         self.l1d_mshr = MSHRFile(config.l1d.mshr_entries, name="L1D-MSHR")
         self.l1i_mshr = MSHRFile(config.l1i.mshr_entries, name="L1I-MSHR")
         self.l2_mshr = MSHRFile(config.l2.mshr_entries, name="L2-MSHR")

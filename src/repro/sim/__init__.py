@@ -46,6 +46,11 @@ from repro.sim.resilience import (
 )
 from repro.sim.runner import simulate, verify_against_golden
 from repro.sim.sweep import ensemble_sweep, sweep, sweep_many
+from repro.sim.timing_ensemble import (
+    TimingLaneOutcome,
+    run_timing_ensemble,
+    timing_ensemble_eligible,
+)
 
 __all__ = [
     "BACKEND_NUMPY",
@@ -82,6 +87,7 @@ __all__ = [
     "RetryPolicy",
     "run_ensemble",
     "run_simulations",
+    "run_timing_ensemble",
     "SIM_SCHEMA_VERSION",
     "SimTask",
     "SimTaskError",
@@ -90,6 +96,8 @@ __all__ = [
     "sweep",
     "sweep_many",
     "TaskOutcome",
+    "timing_ensemble_eligible",
+    "TimingLaneOutcome",
     "TRANSIENT_KINDS",
     "verify_against_golden",
 ]

@@ -45,8 +45,8 @@ from repro.core.deferred_queue import DQStats
 from repro.core.modes import ExecMode, FailCause, ScoutCause
 from repro.core.sst_core import SSTStats
 from repro.core.store_buffer import SBStats
+from repro.config import env_int
 from repro.core.timing import PerfCounters
-from repro.errors import ReproError
 from repro.isa.interpreter import ArchState, InterpreterStats
 from repro.regress.semid import SemanticIdError, canonicalize, digest_material
 from repro.isa.program import Program
@@ -254,15 +254,8 @@ class ResultCache:
             else os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
         )
         if max_bytes is None:
-            env = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
-            if env:
-                try:
-                    max_bytes = int(env)
-                except ValueError:
-                    raise ReproError(
-                        f"REPRO_CACHE_MAX_BYTES must be an integer, "
-                        f"got {env!r}"
-                    ) from None
+            parsed = env_int("REPRO_CACHE_MAX_BYTES", -1)
+            max_bytes = parsed if parsed >= 0 else None
         self.max_bytes = max_bytes
         self.stats = ResultCacheStats()
 
@@ -366,7 +359,13 @@ class ResultCache:
         return True
 
     def _evict_to_cap(self) -> None:
-        """Drop least-recently-used entries until ``max_bytes`` holds."""
+        """Drop least-recently-used entries until ``max_bytes`` holds.
+
+        Filesystem mtimes are coarse (1s on some mounts), so entries
+        stored in one burst routinely tie; the file name is the
+        deterministic tie-break, making eviction order reproducible
+        across runs instead of depending on directory-listing order.
+        """
         assert self.max_bytes is not None
         sized = []
         for path in self._entries():
@@ -374,10 +373,10 @@ class ResultCache:
                 stat = path.stat()
             except OSError:
                 continue
-            sized.append((stat.st_mtime, stat.st_size, path))
-        total = sum(size for _, size, _ in sized)
-        sized.sort()  # oldest mtime first
-        for _, size, path in sized:
+            sized.append((stat.st_mtime, path.name, stat.st_size, path))
+        total = sum(size for _, _, size, _ in sized)
+        sized.sort(key=lambda item: (item[0], item[1]))
+        for _, _, size, path in sized:
             if total <= self.max_bytes:
                 break
             try:

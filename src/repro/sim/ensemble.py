@@ -332,51 +332,34 @@ class _Kernel:
     execs: Any
 
 
-class _VectorEngine:
-    """SoA state + generated batched block kernels for one ensemble."""
+class LaneMemoryImage:
+    """The paged dense memory window of N ensemble lanes (SoA).
 
-    def __init__(self, programs: List[Program], max_steps: int):
+    Extracted from the functional vector engine so the lane-batched
+    *timing* engine (:mod:`repro.sim.timing_ensemble`) shares one
+    proven layout: a ``(lanes, pages * page_words)`` uint64 matrix
+    ``M`` for anchored pages, a page-number -> slot-base translation
+    table ``T`` (poisoned for unmapped pages), and per-lane overflow
+    dicts for everything outside the dense window.
+
+    Two word-collection views exist because the two engines have
+    different identity contracts:
+
+    * :meth:`lane_words` — zero-valued words dropped (functional
+      results; equality ignores zeros).
+    * :meth:`exact_lane_words` — bit-exact replica of the scalar
+      ``SparseMemory._words`` dict, including zero-valued entries from
+      the initial image and from explicit zero stores.  Valid only
+      when every store went through :meth:`store_words` (the timing
+      engine's path), which maintains the zero-write bookkeeping; the
+      functional engine's generated kernels scatter into ``M``
+      directly and must use :meth:`lane_words`.
+    """
+
+    def __init__(self, programs: Sequence[Program]):
         np = _np
-        self.programs = programs
-        self.max_steps = max_steps
-        base = programs[0]
-        self.n_lanes = len(programs)
-        self.n_insts = len(base)
-        block_program = blockcache.get_block_program(base)
-        self.rows = block_program.rows
-        self.blocks = block_program.blocks
-        self._block_starts = [start for start, _ in self.blocks]
-        self._block_end_of = dict(self.blocks)
-
-        self.R = np.zeros((self.n_lanes, REG_COUNT), dtype=np.uint64)
-        self._init_memory()
-        self.s_insts = np.zeros(self.n_lanes, dtype=np.int64)
-        self.s_taken = np.zeros(self.n_lanes, dtype=np.int64)
-        self.final_pc = np.zeros(self.n_lanes, dtype=np.int64)
-        self.halted = np.zeros(self.n_lanes, dtype=bool)
-        self.done: List[Optional[LaneOutcome]] = [None] * self.n_lanes
-
-        self._imm_cache: Dict[int, Tuple[Optional[int], Any]] = {}
-        self._kernels: Dict[int, _Kernel] = {}
-        self._ns: Dict[str, Any] = {
-            "_np": np,
-            "_U8": np.uint64,
-            "_I8": np.int64,
-            "_IP": np.intp,
-            "_63": np.uint64(63),
-            "_7": np.uint64(7),
-            "_3": np.uint64(3),
-            "_53": np.uint64(53),
-            "_NN": np.uint64(self.n_insts),
-            "_T": self.T,
-            "_PS": np.uint64(_PAGE_SHIFT),
-            "_PM": np.uint64(_PAGE_WORDS - 1),
-        }
-
-    # -- memory layout ------------------------------------------------
-
-    def _init_memory(self) -> None:
-        np = _np
+        self.programs = list(programs)
+        self.n_lanes = len(self.programs)
         image_pages = {
             word.addr >> _PAGE_SHIFT
             for program in self.programs
@@ -434,6 +417,13 @@ class _VectorEngine:
             (self.n_lanes, len(pages) * _PAGE_WORDS), dtype=np.uint64
         )
         self.ovf: List[Dict[int, int]] = [{} for _ in range(self.n_lanes)]
+        # Addresses whose *scalar* word dict holds an explicit zero (a
+        # zero-valued image word, or a store of zero through
+        # store_words) — invisible in M but part of the exact identity.
+        self.zero_written: List[Set[int]] = [
+            set() for _ in range(self.n_lanes)
+        ]
+        self._track_zeros = False
         for lane, program in enumerate(self.programs):
             data = program.data
             if not data:
@@ -447,7 +437,17 @@ class _VectorEngine:
                 (word.value & MASK64 for word in data), dtype=np.uint64,
                 count=count,
             )
-            w2, dense, _ = self._addr_state(addrs)
+            if not values.all():
+                # Rare: the image writes explicit zeros.  Replay the
+                # scalar last-writer-wins build to find which survive.
+                final: Dict[int, int] = {}
+                for word in data:
+                    final[word.addr] = word.value & MASK64
+                zeros = {a for a, v in final.items() if v == 0}
+                if zeros:
+                    self.zero_written[lane].update(zeros)
+                    self._track_zeros = True
+            w2, dense, _ = self.addr_state(addrs)
             # Duplicate addresses must resolve last-writer-wins like
             # the scalar image build; numpy fancy assignment leaves
             # that unspecified.  Strictly increasing slots (the
@@ -466,7 +466,7 @@ class _VectorEngine:
                 else:
                     self.ovf[lane][word.addr] = int(values[j])
 
-    def _addr_state(self, addrs: Any) -> Tuple[Any, Any, Any]:
+    def addr_state(self, addrs: Any) -> Tuple[Any, Any, Any]:
         """Map a uint64 byte-address vector through the page table:
         ``(dense_index, dense_mask, aligned_mask)``.  ``dense_index``
         is only meaningful where ``dense_mask`` holds."""
@@ -482,7 +482,49 @@ class _VectorEngine:
         ).astype(np.intp)
         return w2, dense, aligned
 
-    def _lane_words(self, lane: int) -> Dict[int, int]:
+    # -- aligned batched access (timing-engine path) ------------------
+
+    def load_words(self, idx: Any, addrs: Any) -> Any:
+        """Gather the words at aligned ``addrs`` for lanes ``idx``."""
+        np = _np
+        w2, dense, _ = self.addr_state(addrs)
+        if dense.all():
+            return self.M[idx, w2]
+        out = np.empty(idx.size, dtype=np.uint64)
+        out[dense] = self.M[idx[dense], w2[dense]]
+        for j in np.nonzero(~dense)[0].tolist():
+            out[j] = self.ovf[int(idx[j])].get(int(addrs[j]), 0)
+        return out
+
+    def store_words(self, idx: Any, addrs: Any, vals: Any) -> None:
+        """Scatter ``vals`` to aligned ``addrs`` for lanes ``idx``,
+        maintaining the exact-words bookkeeping (zero stores stay part
+        of the word set, like ``SparseMemory.write``)."""
+        np = _np
+        w2, dense, _ = self.addr_state(addrs)
+        zero = vals == np.uint64(0)
+        if zero.any():
+            self._track_zeros = True
+        if self._track_zeros:
+            # Slow bookkeeping path, entered only once a zero word
+            # exists anywhere in the ensemble.
+            for j in np.nonzero(dense)[0].tolist():
+                tracked = self.zero_written[int(idx[j])]
+                if zero[j]:
+                    tracked.add(int(addrs[j]))
+                else:
+                    tracked.discard(int(addrs[j]))
+        if dense.all():
+            self.M[idx, w2] = vals
+        else:
+            self.M[idx[dense], w2[dense]] = vals[dense]
+            for j in np.nonzero(~dense)[0].tolist():
+                self.ovf[int(idx[j])][int(addrs[j])] = int(vals[j])
+
+    # -- collection ----------------------------------------------------
+
+    def lane_words(self, lane: int) -> Dict[int, int]:
+        """Nonzero final words of one lane (functional identity)."""
         row = self.M[lane]
         nz = _np.nonzero(row)[0]
         pages = self._pages[nz // _PAGE_WORDS]
@@ -495,11 +537,86 @@ class _VectorEngine:
                 words.pop(addr, None)
         return words
 
-    def _lane_memory(self, lane: int) -> SparseMemory:
+    def exact_lane_words(self, lane: int) -> Dict[int, int]:
+        """The scalar ``SparseMemory._words`` replica of one lane —
+        zero-valued entries included (see class docstring)."""
+        row = self.M[lane]
+        nz = _np.nonzero(row)[0]
+        pages = self._pages[nz // _PAGE_WORDS]
+        addrs = (pages << _PAGE_SHIFT) + ((nz % _PAGE_WORDS) << 3)
+        words = dict(zip(addrs.tolist(), row[nz].tolist()))
+        for addr in self.zero_written[lane]:
+            words[addr] = 0
+        words.update(self.ovf[lane])
+        return words
+
+    def lane_memory(self, lane: int) -> SparseMemory:
         """The lane's final memory as a (lazily materialized) sparse
         image.  Only valid once the lane has left vector execution —
         its M row and overflow dict must not change afterwards."""
-        return _LazyLaneMemory(functools.partial(self._lane_words, lane))
+        return _LazyLaneMemory(functools.partial(self.lane_words, lane))
+
+
+class _VectorEngine:
+    """SoA state + generated batched block kernels for one ensemble."""
+
+    def __init__(self, programs: List[Program], max_steps: int):
+        np = _np
+        self.programs = programs
+        self.max_steps = max_steps
+        base = programs[0]
+        self.n_lanes = len(programs)
+        self.n_insts = len(base)
+        block_program = blockcache.get_block_program(base)
+        self.rows = block_program.rows
+        self.blocks = block_program.blocks
+        self._block_starts = [start for start, _ in self.blocks]
+        self._block_end_of = dict(self.blocks)
+
+        self.R = np.zeros((self.n_lanes, REG_COUNT), dtype=np.uint64)
+        self._init_memory()
+        self.s_insts = np.zeros(self.n_lanes, dtype=np.int64)
+        self.s_taken = np.zeros(self.n_lanes, dtype=np.int64)
+        self.final_pc = np.zeros(self.n_lanes, dtype=np.int64)
+        self.halted = np.zeros(self.n_lanes, dtype=bool)
+        self.done: List[Optional[LaneOutcome]] = [None] * self.n_lanes
+
+        self._imm_cache: Dict[int, Tuple[Optional[int], Any]] = {}
+        self._kernels: Dict[int, _Kernel] = {}
+        self._ns: Dict[str, Any] = {
+            "_np": np,
+            "_U8": np.uint64,
+            "_I8": np.int64,
+            "_IP": np.intp,
+            "_63": np.uint64(63),
+            "_7": np.uint64(7),
+            "_3": np.uint64(3),
+            "_53": np.uint64(53),
+            "_NN": np.uint64(self.n_insts),
+            "_T": self.T,
+            "_PS": np.uint64(_PAGE_SHIFT),
+            "_PM": np.uint64(_PAGE_WORDS - 1),
+        }
+
+    # -- memory layout ------------------------------------------------
+
+    def _init_memory(self) -> None:
+        # The image owns the arrays; the engine keeps direct aliases
+        # because the generated kernels index M/T by bare name.  The
+        # arrays are mutated in place and never rebound, so aliasing is
+        # safe.
+        image = LaneMemoryImage(self.programs)
+        self.mem_image = image
+        self.M = image.M
+        self.T = image.T
+        self.ovf = image.ovf
+        self._pages = image._pages
+
+    def _addr_state(self, addrs: Any) -> Tuple[Any, Any, Any]:
+        return self.mem_image.addr_state(addrs)
+
+    def _lane_memory(self, lane: int) -> SparseMemory:
+        return self.mem_image.lane_memory(lane)
 
     # -- runtime helpers called from generated kernels ----------------
 

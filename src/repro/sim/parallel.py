@@ -29,6 +29,16 @@ one execution engine behind :func:`repro.sim.sweep.sweep`,
   checking (``cache-corrupt``) is quarantined and the point re-simulated,
   and a store that fails (full disk, unregistered stats type) warns and
   continues instead of discarding the finished batch;
+* **lane batching** — groups of pending in-order points that share a
+  program *shape* (same opcodes/operands/targets, differing only in
+  immediates and data — exactly the sweep pattern) and a config/budget
+  are peeled off and executed in one pass through the vectorized
+  timing engine (:mod:`repro.sim.timing_ensemble`), whose per-lane
+  results are bit-identical to scalar runs and hit the same result
+  cache keys; ineligible points (non-in-order cores, odd predictors,
+  numpy missing, ``REPRO_TIMING_ENSEMBLE=0``, sanitizer or fault
+  hooks active) and singleton groups fall through to the scalar path,
+  as does the whole group if the batched engine itself fails;
 * **fault injection** — ``REPRO_FAULT_INJECT``
   (:mod:`repro.sim.faults`) deterministically exercises every one of
   these recovery paths.
@@ -49,7 +59,7 @@ import warnings
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.baselines.core_base import CoreResult, DEFAULT_MAX_INSTRUCTIONS
-from repro.config import MachineConfig
+from repro.config import MachineConfig, env_int
 from repro.errors import ConfigError, ReproError
 from repro.isa.program import Program
 from repro.regress.semid import SemanticIdError
@@ -120,15 +130,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if multiprocessing.current_process().daemon:
         return 1
     if jobs is None:
-        env = os.environ.get("REPRO_JOBS", "").strip()
-        if not env:
-            return 1
-        try:
-            jobs = int(env)
-        except ValueError:
-            raise ConfigError(
-                f"REPRO_JOBS must be an integer, got {env!r}"
-            ) from None
+        jobs = env_int("REPRO_JOBS", 1)
     if jobs <= 0:  # 0 / negative = "use every core"
         jobs = os.cpu_count() or 1
     return max(1, jobs)
@@ -182,7 +184,13 @@ class ParallelRunner:
         self.jobs = resolve_jobs(jobs)
         if timeout is None:
             env = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
-            timeout = float(env) if env else None
+            if env:
+                try:
+                    timeout = float(env)
+                except ValueError:
+                    raise ConfigError(
+                        f"REPRO_TASK_TIMEOUT must be a number, got {env!r}"
+                    ) from None
         self.timeout = timeout
         self.cache = cache
         self.retry_policy = (
@@ -211,6 +219,8 @@ class ParallelRunner:
                 outcomes[index] = hit
 
         if pending:
+            pending = self._run_timing_batches(tasks, pending, outcomes)
+        if pending:
             executed = self._execute_batch([tasks[i] for i in pending])
             for index, outcome in zip(pending, executed):
                 outcomes[index] = outcome
@@ -218,6 +228,107 @@ class ParallelRunner:
                     self._store_result(outcome)
 
         return [outcome for outcome in outcomes if outcome is not None]
+
+    def _run_timing_batches(self, tasks: List[SimTask],
+                            pending: List[int],
+                            outcomes: List[Optional[TaskOutcome]]
+                            ) -> List[int]:
+        """Batch same-shape in-order points through the vectorized
+        timing engine; returns the pending indices it did *not* handle.
+
+        Grouping key is (config, program shape fingerprint, budget) —
+        the engine's lane-compatibility contract.  Only groups of two
+        or more lanes batch (a singleton gains nothing and keeps the
+        scalar path's retry/fault machinery); groups wider than
+        ``REPRO_ENSEMBLE_LANES`` run in chunks.  Each lane's result is
+        verified and cached exactly as a scalar run would be, and the
+        behavioral-baseline firewall observes it through the same
+        hook as :func:`repro.sim.runner.simulate`.  If the engine
+        itself fails, the whole group falls back to scalar execution
+        with a warning — batching is an optimization, never a new way
+        to lose a sweep.
+        """
+        from repro.config import ensemble_lanes
+        from repro.sim.timing_ensemble import (
+            run_timing_ensemble,
+            timing_ensemble_eligible,
+        )
+
+        groups: List[Tuple[SimTask, List[int]]] = []
+        for index in pending:
+            task = tasks[index]
+            if not timing_ensemble_eligible(task.config):
+                continue
+            shape = task.program.shape_fingerprint()
+            for head, members in groups:
+                if (head.max_instructions == task.max_instructions
+                        and head.program.shape_fingerprint() == shape
+                        and head.config == task.config):
+                    members.append(index)
+                    break
+            else:
+                groups.append((task, [index]))
+
+        handled: set = set()
+        width = max(2, ensemble_lanes())
+        observe_baseline = bool(
+            os.environ.get("REPRO_BASELINE", "").strip()
+        )
+        for head, members in groups:
+            if len(members) < 2:
+                continue
+            for start in range(0, len(members), width):
+                chunk = members[start:start + width]
+                try:
+                    lane_outcomes = run_timing_ensemble(
+                        head.config,
+                        [tasks[i].program for i in chunk],
+                        max_instructions=head.max_instructions,
+                    )
+                except Exception as exc:  # noqa: BLE001 - engine crash
+                    warnings.warn(
+                        f"timing-ensemble batch of {len(chunk)} "
+                        f"{head.config.name} lanes failed "
+                        f"({type(exc).__name__}: {exc}); falling back "
+                        f"to scalar execution",
+                        RuntimeWarning,
+                        stacklevel=4,
+                    )
+                    continue
+                for index, lane in zip(chunk, lane_outcomes):
+                    task = tasks[index]
+                    if lane.error is not None:
+                        outcome = TaskOutcome(task=task, error=lane.error,
+                                              kind=KIND_TASK_ERROR)
+                    else:
+                        outcome = self._check_batched_lane(
+                            task, lane.result, observe_baseline
+                        )
+                    outcomes[index] = outcome
+                    handled.add(index)
+                    if outcome.ok and self.cache is not None:
+                        self._store_result(outcome)
+        return [index for index in pending if index not in handled]
+
+    def _check_batched_lane(self, task: SimTask, result: CoreResult,
+                            observe_baseline: bool) -> TaskOutcome:
+        """Golden-check + firewall-observe one batched lane, mirroring
+        what :func:`repro.sim.runner.simulate` does on the scalar path
+        (including the error rendering of a failed check)."""
+        try:
+            if task.verify:
+                verify_against_golden(result, task.program)
+            if observe_baseline:
+                from repro.regress.firewall import observe_point_from_env
+
+                observe_point_from_env(
+                    task.config, task.program, task.max_instructions,
+                    result,
+                )
+        except Exception as exc:  # noqa: BLE001 - mirror _execute_task
+            return TaskOutcome(task=task, kind=KIND_TASK_ERROR,
+                               error=f"{type(exc).__name__}: {exc}")
+        return TaskOutcome(task=task, result=result)
 
     def run(self, tasks: Sequence[SimTask], *,
             on_error: str = "raise") -> List[Optional[CoreResult]]:

@@ -44,6 +44,7 @@ import os
 import time
 from typing import Callable, Optional
 
+from repro.config import env_int
 from repro.errors import ConfigError
 
 # The closed failure taxonomy (TaskOutcome.kind values).
@@ -69,15 +70,7 @@ def resolve_retries(retries: Optional[int] = None) -> int:
     """Retry budget: explicit argument, else ``REPRO_TASK_RETRIES``,
     else :data:`DEFAULT_TASK_RETRIES`."""
     if retries is None:
-        env = os.environ.get("REPRO_TASK_RETRIES", "").strip()
-        if not env:
-            return DEFAULT_TASK_RETRIES
-        try:
-            retries = int(env)
-        except ValueError:
-            raise ConfigError(
-                f"REPRO_TASK_RETRIES must be an integer, got {env!r}"
-            ) from None
+        retries = env_int("REPRO_TASK_RETRIES", DEFAULT_TASK_RETRIES)
     if retries < 0:
         raise ConfigError(
             f"task retries must be >= 0, got {retries}"

@@ -7,6 +7,12 @@ Sweeps execute through :class:`~repro.sim.parallel.ParallelRunner`: set
 processes, and pass a :class:`~repro.sim.cache.ResultCache` to skip
 points that were already simulated.  Results always come back in axis
 order, identical to the serial path.
+
+Uncached in-order points that share a program shape and budget batch
+transparently through the lane-axis timing engine
+(:mod:`repro.sim.timing_ensemble`) inside the runner — same results,
+same cache keys, fewer host seconds; ``REPRO_TIMING_ENSEMBLE=0``
+restores pure lane-by-lane execution.
 """
 
 from __future__ import annotations

@@ -283,3 +283,171 @@ def test_committed_baseline_carries_the_ensemble_section():
     if section["available"]:
         assert section["lanes"] == 64
         assert section["aggregate"]["speedup"] is not None
+
+
+# ---------------------------------------------------------------------------
+# The timing-ensemble throughput section.
+# ---------------------------------------------------------------------------
+
+
+def timing_section(speedup, available=True):
+    if not available:
+        return {"available": False, "reason": "numpy not installed",
+                "lanes": 64, "scale": "tiny"}
+    return {
+        "available": True, "backend": "numpy", "machine": "inorder-2w",
+        "lanes": 64, "scale": "tiny", "workloads": {},
+        "aggregate": {"instructions": 1000,
+                      "scalar_insts_per_host_second": 1000,
+                      "ensemble_insts_per_host_second":
+                          round(1000 * speedup),
+                      "speedup": speedup},
+    }
+
+
+class TestMeasureTimingEnsemble:
+    def test_section_structure_and_differential_guard(self):
+        pytest.importorskip("numpy")
+        section = perf.measure_timing_ensemble(lanes=4)
+        assert section["available"]
+        assert section["backend"] == "numpy"
+        assert section["lanes"] == 4
+        assert list(section["workloads"]) == \
+            list(perf.DEFAULT_TIMING_WORKLOADS)
+        row = section["workloads"]["compute-matmul"]
+        assert row["instructions"] == \
+            section["aggregate"]["instructions"]
+        # Rates reproduce from the stored rounded walls exactly.
+        assert row["speedup"] == round(
+            row["scalar_wall_seconds"] / row["ensemble_wall_seconds"],
+            4)
+
+    def test_kill_switch_marks_unavailable(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setenv("REPRO_TIMING_ENSEMBLE", "0")
+        section = perf.measure_timing_ensemble(lanes=2)
+        assert section == {"available": False,
+                           "reason": "REPRO_TIMING_ENSEMBLE=0",
+                           "lanes": 2, "scale": "tiny"}
+
+    def test_unknown_workload_is_a_repro_error(self):
+        pytest.importorskip("numpy")
+        with pytest.raises(perf.ReproError, match="no-such-workload"):
+            perf.measure_timing_ensemble(
+                lanes=2, workloads=["no-such-workload"])
+        with pytest.raises(perf.ReproError, match="no workloads"):
+            perf.measure_timing_ensemble(lanes=2, workloads=[])
+
+    def test_measure_ensemble_rejects_unknown_workloads_too(self):
+        with pytest.raises(perf.ReproError, match="no-such-workload"):
+            perf.measure_ensemble(lanes=2, backend="python",
+                                  workloads=["no-such-workload"])
+
+
+class TestTimingEnsembleGate:
+    @pytest.fixture
+    def fake_measure(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+
+        def install(timing):
+            def fake(tag="smoke"):
+                payload = payload_with([entry("sst", 1000, 1.0)],
+                                       tag=tag)
+                payload["timing_ensemble"] = timing
+                return payload
+            monkeypatch.setattr(perf, "measure", fake)
+        return install
+
+    def test_speedup_above_floor_passes(self, tmp_path, fake_measure):
+        fake_measure(timing_section(speedup=2.4))
+        assert perf.run_perf_smoke(
+            baseline_path=tmp_path / "BENCH_smoke.json",
+            timing_min_speedup=2.0) == 0
+
+    def test_speedup_below_floor_fails(self, tmp_path, fake_measure):
+        fake_measure(timing_section(speedup=1.4))
+        assert perf.run_perf_smoke(
+            baseline_path=tmp_path / "BENCH_smoke.json",
+            timing_min_speedup=2.0) == 1
+
+    def test_unavailable_section_is_not_gated(self, tmp_path,
+                                              fake_measure):
+        fake_measure(timing_section(0.0, available=False))
+        assert perf.run_perf_smoke(
+            baseline_path=tmp_path / "BENCH_smoke.json",
+            timing_min_speedup=2.0) == 0
+
+    def test_render_includes_timing_line(self, fake_measure):
+        payload = payload_with([entry("sst", 1000, 1.0)])
+        payload["timing_ensemble"] = timing_section(speedup=2.25)
+        text = perf.render(payload)
+        assert "timing ensemble N=64" in text
+        assert "2.25x vs scalar" in text
+        payload["timing_ensemble"] = timing_section(0.0,
+                                                    available=False)
+        assert "timing ensemble: unavailable" in perf.render(payload)
+
+
+def test_committed_baseline_carries_the_timing_section():
+    payload = perf.load_baseline()
+    assert payload is not None, "benchmarks/BENCH_smoke.json missing"
+    section = payload.get("timing_ensemble")
+    assert isinstance(section, dict)
+    if section["available"]:
+        assert section["lanes"] == 64
+        assert section["aggregate"]["speedup"] >= 2.0
+
+
+# ---------------------------------------------------------------------------
+# Snapshot self-consistency: rates reproduce from the stored walls.
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotRoundTrip:
+    def test_entry_rates_derive_from_stored_wall(self):
+        class FakeResult:
+            core_name = "fake"
+            program_name = "p"
+            cycles = 12345
+            instructions = 23456
+            ipc = 1.9
+            wall_seconds = 0.123456789
+            extra = {}
+
+        row = perf.perf_entry(FakeResult())
+        assert row["wall_seconds"] == 0.1235
+        assert row["insts_per_host_second"] == \
+            round(row["instructions"] / row["wall_seconds"])
+        assert row["sim_cycles_per_second"] == \
+            round(row["cycles"] / row["wall_seconds"])
+
+    def test_aggregate_rates_derive_from_stored_walls(self):
+        entries = [entry("m1", 1000, 0.33335), entry("m1", 500, 0.1),
+                   entry("m2", 2000, 0.70004)]
+        agg = perf.aggregate(entries)
+        for machine, rollup in agg["machines"].items():
+            assert rollup["insts_per_host_second"] == round(
+                rollup["instructions"] / rollup["wall_seconds"])
+        total = agg["total"]
+        assert total["wall_seconds"] == round(
+            sum(r["wall_seconds"] for r in agg["machines"].values()),
+            4)
+        assert total["insts_per_host_second"] == round(
+            total["instructions"] / total["wall_seconds"])
+
+    def test_committed_snapshot_is_self_consistent(self):
+        payload = perf.load_baseline()
+        assert payload is not None
+        for row in payload["entries"]:
+            if row["wall_seconds"]:
+                assert row["insts_per_host_second"] == round(
+                    row["instructions"] / row["wall_seconds"]), row
+        agg = payload["aggregate"]
+        for rollup in agg["machines"].values():
+            if rollup["wall_seconds"]:
+                assert rollup["insts_per_host_second"] == round(
+                    rollup["instructions"] / rollup["wall_seconds"])
+        total = agg["total"]
+        if total["wall_seconds"]:
+            assert total["insts_per_host_second"] == round(
+                total["instructions"] / total["wall_seconds"])

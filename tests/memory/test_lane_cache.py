@@ -1,0 +1,160 @@
+"""LaneCacheArray / LaneCacheView equivalence against the scalar Cache.
+
+The timing ensemble's bit-identity contract rests on the lane-axis tag
+store behaving exactly like N independent scalar caches — stats, LRU
+victim choice, dirty-writeback signalling, prefetch-flag clearing, all
+of it.  These tests drive randomized operation sequences through both
+implementations and require full agreement.
+"""
+
+import random
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.errors import SimulatorInvariantError
+from repro.memory.cache import Cache
+
+np = pytest.importorskip("numpy")
+
+from repro.memory.cache import LaneCacheArray, LaneCacheView  # noqa: E402
+
+
+CONFIG = CacheConfig(size_bytes=1024, assoc=4, hit_latency=2,
+                     line_bytes=64)
+
+
+def _random_ops(rng, count):
+    """A sequence of (op, addr, kwargs) exercising every code path."""
+    ops = []
+    for _ in range(count):
+        addr = rng.randrange(0, 64) * 64 + rng.randrange(0, 64)
+        kind = rng.randrange(0, 100)
+        if kind < 45:
+            ops.append(("lookup", addr, {
+                "update_lru": rng.random() < 0.9,
+                "count": rng.random() < 0.9,
+            }))
+        elif kind < 75:
+            ops.append(("fill", addr, {"prefetched": rng.random() < 0.3}))
+        elif kind < 85:
+            ops.append(("contains", addr, {}))
+        elif kind < 95:
+            ops.append(("mark_dirty_if_present", addr, {}))
+        else:
+            ops.append(("lookup_then_fill", addr, {}))
+    return ops
+
+
+def _apply(cache, op, addr, kwargs):
+    """Run one op against a Cache-like object, returning the outcome."""
+    if op == "lookup":
+        return cache.lookup(addr, **kwargs)
+    if op == "fill":
+        return cache.fill(addr, **kwargs)
+    if op == "contains":
+        return cache.contains(addr)
+    if op == "mark_dirty_if_present":
+        if cache.contains(addr):
+            cache.mark_dirty(addr)
+            return True
+        return False
+    if op == "lookup_then_fill":
+        hit = cache.lookup(addr)
+        if not hit:
+            return hit, cache.fill(addr)
+        return hit, None
+    raise AssertionError(op)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_lane_view_matches_scalar_cache(seed):
+    rng = random.Random(seed)
+    lanes = 4
+    array = LaneCacheArray(CONFIG, lanes, name="L1D")
+    scalars = [Cache(CONFIG, name="L1D") for _ in range(lanes)]
+    views = [LaneCacheView(array, lane) for lane in range(lanes)]
+    for lane in range(lanes):
+        for op, addr, kwargs in _random_ops(rng, 600):
+            expect = _apply(scalars[lane], op, addr, kwargs)
+            got = _apply(views[lane], op, addr, kwargs)
+            assert got == expect, (lane, op, hex(addr), kwargs)
+    for lane in range(lanes):
+        assert views[lane].stats == scalars[lane].stats
+        assert array.stats_for(lane) == scalars[lane].stats
+
+
+def test_lanes_are_independent():
+    array = LaneCacheArray(CONFIG, 3, name="L1D")
+    array.fill_lane(0, 0x1000)
+    assert array.contains_lane(0, 0x1000)
+    assert not array.contains_lane(1, 0x1000)
+    assert not array.contains_lane(2, 0x1000)
+    assert int(array.accesses[1]) == 0
+
+
+def test_probe_then_commit_matches_counted_lookup():
+    """probe_lanes + commit_hit_lanes ≡ one counted, LRU-updating
+    lookup (plus mark_dirty for stores) on every hit lane."""
+    rng = random.Random(7)
+    lanes = 8
+    array = LaneCacheArray(CONFIG, lanes, name="L1D")
+    scalars = [Cache(CONFIG, name="L1D") for _ in range(lanes)]
+    # Warm both with identical per-lane fills.
+    for lane in range(lanes):
+        for _ in range(40):
+            addr = rng.randrange(0, 32) * 64
+            array.fill_lane(lane, addr)
+            scalars[lane].fill(addr)
+
+    for round_idx in range(50):
+        lane_idx = np.arange(lanes, dtype=np.intp)
+        addrs = np.array(
+            [rng.randrange(0, 32) * 64 for _ in range(lanes)],
+            dtype=np.uint64,
+        )
+        lines = array.line_addr_lanes(addrs)
+        store = round_idx % 3 == 0
+        hit, sets, ways = array.probe_lanes(lane_idx, lines)
+        # Scalar reference: probe result must match contains().
+        for lane in range(lanes):
+            assert bool(hit[lane]) == scalars[lane].contains(int(addrs[lane]))
+        hit_lanes = lane_idx[hit]
+        array.commit_hit_lanes(hit_lanes, sets[hit], ways[hit],
+                               mark_dirty=store)
+        miss_lanes = lane_idx[~hit]
+        array.count_miss_lanes(miss_lanes)
+        for lane in miss_lanes:
+            array.fill_lane(int(lane), int(addrs[lane]))
+        for lane in range(lanes):
+            addr = int(addrs[lane])
+            was_hit = scalars[lane].lookup(addr)
+            assert was_hit == bool(hit[lane])
+            if was_hit and store:
+                scalars[lane].mark_dirty(addr)
+            if not was_hit:
+                scalars[lane].fill(addr)
+
+    for lane in range(lanes):
+        assert array.stats_for(lane) == scalars[lane].stats
+
+
+def test_mark_dirty_absent_raises():
+    array = LaneCacheArray(CONFIG, 2, name="L1D")
+    with pytest.raises(SimulatorInvariantError, match="mark_dirty"):
+        array.mark_dirty_lane(0, 0x2000)
+
+
+def test_dirty_victim_writeback_matches():
+    array = LaneCacheArray(CONFIG, 1, name="L1D")
+    scalar = Cache(CONFIG, name="L1D")
+    # Fill one set beyond capacity with dirty lines; victims must agree.
+    num_sets = CONFIG.num_sets
+    for i in range(CONFIG.assoc + 3):
+        addr = i * num_sets * 64  # all map to set 0
+        va = array.fill_lane(0, addr)
+        vs = scalar.fill(addr)
+        assert va == vs
+        array.mark_dirty_lane(0, addr)
+        scalar.mark_dirty(addr)
+    assert array.stats_for(0) == scalar.stats

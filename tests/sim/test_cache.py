@@ -403,3 +403,42 @@ def test_cache_max_bytes_env(monkeypatch, tmp_path):
     monkeypatch.delenv("REPRO_CACHE_MAX_BYTES")
     assert ResultCache(tmp_path).max_bytes is None
     assert ResultCache(tmp_path, max_bytes=7).max_bytes == 7
+
+
+def test_lru_eviction_equal_mtimes_is_deterministic(tmp_path, config,
+                                                    program):
+    """Entries stored in one burst tie on coarse filesystem mtimes;
+    the name tie-break makes the eviction order reproducible."""
+    unbounded = ResultCache(tmp_path)
+    result = simulate(config, program)
+    keys = [unbounded.key(config, program, budget)
+            for budget in (1000, 2000, 3000, 4000)]
+    for key in keys:
+        unbounded.store(key, result)
+        os.utime(tmp_path / f"{key}.json", (100, 100))  # all tie
+
+    entry_bytes = (tmp_path / f"{keys[0]}.json").stat().st_size
+    capped = ResultCache(tmp_path, max_bytes=2 * entry_bytes + 10)
+    trigger = unbounded.key(config, program, 5000)
+    capped.store(trigger, result)
+    os.utime(tmp_path / f"{trigger}.json", (200, 200))
+    capped._evict_to_cap()
+
+    # With every mtime equal, the lexicographically smallest names go
+    # first — never the newer trigger entry, never a random subset.
+    survivors = {path.stem for path in tmp_path.glob("*.json")}
+    expected_evicted = set(sorted(keys)[:len(keys) + 1 - 2])
+    assert survivors == ({trigger} | set(keys)) - expected_evicted
+
+
+def test_load_refreshes_mtime_for_lru(tmp_path, config, program):
+    """A hit must bump the entry's recency or the size cap evicts the
+    hottest entries first."""
+    cache = ResultCache(tmp_path, max_bytes=1 << 30)
+    result = simulate(config, program)
+    key = cache.key(config, program, 1000)
+    cache.store(key, result)
+    path = tmp_path / f"{key}.json"
+    os.utime(path, (1, 1))
+    assert cache.load(key) == result
+    assert path.stat().st_mtime > 1

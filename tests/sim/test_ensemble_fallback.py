@@ -83,3 +83,31 @@ def test_measure_ensemble_reports_unavailable(no_numpy):
         "lanes": 2,
         "scale": "tiny",
     }
+
+
+def test_timing_ensemble_ineligible_without_numpy(monkeypatch):
+    """Without numpy the timing engine declares itself ineligible and
+    sweeps run scalar: results are unchanged, availability is honest."""
+    import repro.sim.timing_ensemble as te
+    from repro.config import inorder_machine
+    from repro.experiments import perf
+    from repro.sim.parallel import ParallelRunner, SimTask
+
+    monkeypatch.setattr(te, "_np", None)
+    config = inorder_machine()
+    assert not te.timing_ensemble_eligible(config)
+    with pytest.raises(ensemble_mod.EnsembleError, match="numpy"):
+        te.run_timing_ensemble(config, lane_programs("fp-stream", 2))
+
+    # The runner silently takes the scalar path for every point.
+    tasks = [SimTask(config=config, program=p)
+             for p in lane_programs("fp-stream", 3)]
+    outcomes = ParallelRunner(1).run_outcomes(tasks)
+    assert all(o.ok for o in outcomes)
+
+    # And perf snapshots stay writable, marking the section absent.
+    monkeypatch.setattr(ensemble_mod, "_np", None)
+    section = perf.measure_timing_ensemble(lanes=2)
+    assert section == {"available": False,
+                       "reason": "numpy not installed",
+                       "lanes": 2, "scale": "tiny"}
